@@ -1,0 +1,43 @@
+"""Benchmark: Figure 4 — multiple-instruction bugs.
+
+Both SQED and SEPE-SQED detect sequence-dependent bugs; the paper compares
+their detection time and counterexample length per bug (ratios SQED /
+SEPE-SQED).  These benchmarks regenerate the comparison for representative
+forwarding / write-back mutations; ``python -m repro.experiments.figure4
+--full`` runs the complete catalog.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figure4 import Figure4Config, run_figure4
+
+
+def test_figure4_forwarding_bugs(once):
+    result = once(
+        run_figure4,
+        Figure4Config(bug_names=["multi_no_forward_ex_rs1", "multi_no_forward_ex_rs2"]),
+    )
+    assert result.both_detect_all
+    for row in result.rows:
+        assert row.sepe.counterexample_length is not None
+        assert row.sqed.counterexample_length is not None
+    print()
+    print(result.render())
+
+
+def test_figure4_writeback_bug(once):
+    result = once(
+        run_figure4, Figure4Config(bug_names=["multi_wb_dropped_on_double_write"])
+    )
+    assert result.both_detect_all
+    print()
+    print(result.render())
+
+
+def test_figure4_sequence_dependent_alu_bug(once):
+    result = once(
+        run_figure4, Figure4Config(bug_names=["multi_xor_after_sub_corrupted"])
+    )
+    assert result.both_detect_all
+    print()
+    print(result.render())

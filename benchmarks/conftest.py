@@ -1,0 +1,22 @@
+"""Shared configuration for the benchmark suite.
+
+Every benchmark regenerates (a scaled-down slice of) one of the paper's
+tables or figures; the full sweeps are available through
+``python -m repro.experiments.<name> --full``.  Benchmarks run each workload
+exactly once (rounds=1) because a single run already takes seconds on the
+pure-Python solver stack.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run the benchmarked callable exactly once and return its result."""
+
+    def runner(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return runner

@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""Synthesize semantically equivalent programs with HPF-CEGIS.
+
+This example runs the paper's HPF-CEGIS (Algorithm 1) and the iterative
+CEGIS baseline on a few original instructions and prints the programs they
+find together with the time each algorithm needed — a miniature version of
+the Figure 3 experiment.
+
+Run with:  python examples/synthesize_equivalents.py [MNEMONIC ...]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import CegisConfig, HpfCegis, IterativeCegis, IsaConfig, build_default_library
+from repro.synth.spec import spec_from_instruction
+
+
+def main() -> None:
+    cases = [name.upper() for name in sys.argv[1:]] or ["SUB", "XOR", "AND"]
+    isa = IsaConfig.small(xlen=8, num_regs=8)
+    library = build_default_library(isa)
+    print(f"component library: {len(library)} components "
+          f"(10 NIC + 10 DIC + 9 CIC), datapath {isa.xlen} bits\n")
+
+    cegis_config = CegisConfig(max_iterations=12)
+    hpf = HpfCegis(library, multiset_size=3, target_programs=1,
+                   cegis_config=cegis_config, max_multisets=60)
+    iterative = IterativeCegis(library, multiset_size=3, target_programs=1,
+                               cegis_config=cegis_config, max_multisets=60)
+
+    for case in cases:
+        spec = spec_from_instruction(case, isa)
+        hpf_run = hpf.synthesize_for(spec)
+        it_run = iterative.synthesize_for(spec)
+        print(f"=== {case} ===")
+        print(f"  HPF-CEGIS:       {hpf_run.elapsed_seconds:6.2f}s, "
+              f"{hpf_run.multisets_tried} multisets tried, "
+              f"{len(hpf_run.programs)} program(s)")
+        print(f"  iterative CEGIS: {it_run.elapsed_seconds:6.2f}s, "
+              f"{it_run.multisets_tried} multisets tried, "
+              f"{len(it_run.programs)} program(s)")
+        if hpf_run.programs:
+            print("  best HPF program:")
+            for line in hpf_run.best_program().describe().splitlines():
+                print("   ", line)
+        print()
+
+
+if __name__ == "__main__":
+    main()

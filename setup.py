@@ -1,0 +1,10 @@
+"""Setuptools entry point.
+
+Kept alongside ``pyproject.toml`` so that ``pip install -e .`` works in the
+offline evaluation environment, where the ``wheel`` package (required for
+PEP 660 editable installs) is not available.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,21 @@
+"""Bounded model checking (the role Pono plays in the paper's flow).
+
+:class:`BmcEngine` unrolls a transition system frame by frame and asks the
+bit-vector solver whether a safety property can be violated within the
+bound; when it can, it reconstructs a concrete counterexample trace.  A
+simple k-induction prover is included as an extension for unbounded proofs
+on small designs.
+"""
+
+from repro.bmc.trace import Trace, TraceStep
+from repro.bmc.engine import BmcEngine, BmcResult
+from repro.bmc.kinduction import KInductionEngine, KInductionResult
+
+__all__ = [
+    "Trace",
+    "TraceStep",
+    "BmcEngine",
+    "BmcResult",
+    "KInductionEngine",
+    "KInductionResult",
+]

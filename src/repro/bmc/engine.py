@@ -1,0 +1,178 @@
+"""The bounded model checker.
+
+For a bound ``K`` the engine checks, for ``k = 0..K`` in increasing order,
+whether the constraints of frames ``0..k`` are satisfiable together with the
+negation of the property at frame ``k``.  The first satisfiable query yields
+the shortest counterexample within the bound, which is what both Table 1
+(detection time) and Figure 4 (counterexample length) report.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import BmcError
+from repro.sat.solver import SatSolver
+from repro.smt import terms as T
+from repro.smt.bitblast import BitBlaster
+from repro.smt.evaluator import evaluate, free_variables
+from repro.ts.system import TransitionSystem
+from repro.ts.unroll import Unroller
+from repro.bmc.trace import Trace, TraceStep
+from repro.utils.bitops import from_bits
+
+
+@dataclass
+class BmcStats:
+    """Work counters for one BMC run."""
+
+    solver_calls: int = 0
+    frames_checked: int = 0
+    elapsed_seconds: float = 0.0
+    per_frame_seconds: list[float] = field(default_factory=list)
+
+
+@dataclass
+class BmcResult:
+    """Outcome of a bounded model-checking run.
+
+    ``holds`` is ``True`` when no counterexample exists up to the bound,
+    ``False`` when a counterexample was found (``trace`` is then populated),
+    and ``None`` when the engine gave up (budget exhausted).
+    """
+
+    holds: Optional[bool]
+    bound: int
+    property_name: str
+    trace: Optional[Trace] = None
+    stats: BmcStats = field(default_factory=BmcStats)
+
+    @property
+    def found_bug(self) -> bool:
+        return self.holds is False
+
+    @property
+    def counterexample_length(self) -> Optional[int]:
+        return None if self.trace is None else self.trace.length
+
+
+class BmcEngine:
+    """Bounded model checking over :class:`~repro.ts.system.TransitionSystem`."""
+
+    def __init__(self, ts: TransitionSystem, start_frame: int = 0):
+        ts.validate()
+        self.ts = ts
+        self.start_frame = start_frame
+
+    def check(
+        self,
+        property_name: str,
+        bound: int,
+        conflict_budget: Optional[int] = None,
+    ) -> BmcResult:
+        """Check a named property up to ``bound`` frames (inclusive)."""
+        if property_name not in self.ts.properties:
+            raise BmcError(f"unknown property {property_name!r}")
+        if bound < 0:
+            raise BmcError(f"bound must be non-negative, got {bound}")
+
+        stats = BmcStats()
+        start_time = time.perf_counter()
+        unroller = Unroller(self.ts)
+
+        # Incremental BMC: one bit-blaster and one CDCL solver shared across
+        # frames.  Constraints are asserted as clauses; the property
+        # violation of the frame under test is passed as an assumption so
+        # learned clauses stay valid for later frames.
+        blaster = BitBlaster()
+        solver = SatSolver()
+        clauses_loaded = 0
+
+        def sync_clauses() -> None:
+            nonlocal clauses_loaded
+            for clause in blaster.cnf.clauses[clauses_loaded:]:
+                solver.add_clause(clause)
+            clauses_loaded = len(blaster.cnf.clauses)
+
+        for frame in range(0, bound + 1):
+            for constraint in unroller.constraints_at(frame):
+                if constraint.is_const:
+                    if constraint.const_value() == 0:
+                        raise BmcError("a global constraint is constantly false")
+                    continue
+                blaster.assert_term(constraint)
+            if frame < self.start_frame:
+                continue
+            frame_start = time.perf_counter()
+            stats.frames_checked += 1
+            property_term = unroller.property_at(property_name, frame)
+            violation = T.bv_not(property_term)
+            if violation.is_const and violation.const_value() == 0:
+                # The property reduced to true at this frame; no query needed.
+                stats.per_frame_seconds.append(time.perf_counter() - frame_start)
+                continue
+            violation_literal = blaster.assumption_literal(violation)
+            sync_clauses()
+            stats.solver_calls += 1
+            result = solver.solve(
+                assumptions=[violation_literal], conflict_budget=conflict_budget
+            )
+            stats.per_frame_seconds.append(time.perf_counter() - frame_start)
+            if result.satisfiable is None:
+                stats.elapsed_seconds = time.perf_counter() - start_time
+                return BmcResult(
+                    holds=None,
+                    bound=frame,
+                    property_name=property_name,
+                    stats=stats,
+                )
+            if result.satisfiable:
+                model = self._extract_model(blaster, result)
+                trace = self._build_trace(unroller, model, frame, property_name)
+                stats.elapsed_seconds = time.perf_counter() - start_time
+                return BmcResult(
+                    holds=False,
+                    bound=frame,
+                    property_name=property_name,
+                    trace=trace,
+                    stats=stats,
+                )
+        stats.elapsed_seconds = time.perf_counter() - start_time
+        return BmcResult(
+            holds=True, bound=bound, property_name=property_name, stats=stats
+        )
+
+    @staticmethod
+    def _extract_model(blaster: BitBlaster, result) -> dict[str, int]:
+        """Read back integer values for every bit-blasted variable."""
+        model: dict[str, int] = {}
+        for name, bits in blaster._var_bits.items():
+            values = [
+                1 if result.model.get(abs(b), False) == (b > 0) else 0 for b in bits
+            ]
+            model[name] = from_bits(values)
+        return model
+
+    # ------------------------------------------------------------------ trace
+
+    def _build_trace(
+        self, unroller: Unroller, model: dict[str, int], last_frame: int, property_name: str
+    ) -> Trace:
+        def value_of(term: T.BV) -> int:
+            assignment = dict(model)
+            for var in free_variables(term):
+                assignment.setdefault(var.name or "", 0)
+            return evaluate(term, assignment)
+
+        trace = Trace(property_name=property_name)
+        for frame in range(0, last_frame + 1):
+            step = TraceStep(frame=frame)
+            for state in self.ts.states:
+                step.states[state.name] = value_of(unroller.state_term(state.name, frame))
+            for symbol in self.ts.inputs:
+                assert symbol.name is not None
+                step.inputs[symbol.name] = value_of(unroller.input_term(symbol.name, frame))
+            trace.steps.append(step)
+        return trace

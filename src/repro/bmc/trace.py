@@ -1,0 +1,59 @@
+"""Counterexample traces produced by the BMC engine."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.utils.tables import TextTable
+
+
+@dataclass
+class TraceStep:
+    """Concrete values of every state variable and input at one time frame."""
+
+    frame: int
+    states: dict[str, int] = field(default_factory=dict)
+    inputs: dict[str, int] = field(default_factory=dict)
+
+    def value(self, name: str) -> int:
+        """Look up a state or input value by name."""
+        if name in self.states:
+            return self.states[name]
+        if name in self.inputs:
+            return self.inputs[name]
+        raise KeyError(f"no value for {name!r} at frame {self.frame}")
+
+
+@dataclass
+class Trace:
+    """A finite counterexample: one :class:`TraceStep` per frame."""
+
+    steps: list[TraceStep] = field(default_factory=list)
+    property_name: Optional[str] = None
+
+    def __len__(self) -> int:
+        return len(self.steps)
+
+    @property
+    def length(self) -> int:
+        """Counterexample length in clock cycles (number of frames)."""
+        return len(self.steps)
+
+    def step(self, frame: int) -> TraceStep:
+        return self.steps[frame]
+
+    def values_over_time(self, name: str) -> list[int]:
+        """The value of one signal across all frames."""
+        return [step.value(name) for step in self.steps]
+
+    def render(self, signals: Optional[list[str]] = None) -> str:
+        """Render selected signals (default: all inputs) as a text table."""
+        if not self.steps:
+            return "<empty trace>"
+        if signals is None:
+            signals = sorted(self.steps[0].inputs)
+        table = TextTable(["frame"] + signals)
+        for step in self.steps:
+            table.add_row([step.frame] + [step.value(s) for s in signals])
+        return table.render()

@@ -1,0 +1,14 @@
+"""BTOR2 intermediate format support.
+
+The paper's flow converts the RTL into BTOR2 with Yosys and feeds it to
+Pono.  This package keeps that interface contract: any
+:class:`~repro.ts.system.TransitionSystem` built by the processor models can
+be serialised to BTOR2 text (:func:`write_btor2`) and BTOR2 text in the
+supported subset can be parsed back into a transition system
+(:func:`parse_btor2`).
+"""
+
+from repro.btor.writer import write_btor2
+from repro.btor.parser import parse_btor2
+
+__all__ = ["write_btor2", "parse_btor2"]

@@ -1,0 +1,114 @@
+"""Parse BTOR2 text (the subset emitted by :mod:`repro.btor.writer`).
+
+The parser reconstructs a :class:`~repro.ts.system.TransitionSystem` from
+``sort`` / ``input`` / ``state`` / ``init`` / ``next`` / ``constraint`` /
+``bad`` lines plus the word-level operators our writer produces.  Anonymous
+states and inputs get generated names so round-tripping always succeeds.
+"""
+
+from __future__ import annotations
+
+from repro.errors import Btor2Error
+from repro.smt import terms as T
+from repro.smt.terms import BV
+from repro.ts.system import TransitionSystem
+
+_BINARY_BUILDERS = {
+    "and": T.bv_and,
+    "or": T.bv_or,
+    "xor": T.bv_xor,
+    "add": T.bv_add,
+    "sub": T.bv_sub,
+    "mul": T.bv_mul,
+    "eq": T.bv_eq,
+    "ult": T.bv_ult,
+    "slt": T.bv_slt,
+    "concat": T.bv_concat,
+    "sll": T.bv_shl,
+    "srl": T.bv_lshr,
+    "sra": T.bv_ashr,
+}
+
+
+def parse_btor2(text: str, name: str = "parsed") -> TransitionSystem:
+    """Parse BTOR2 ``text`` into a transition system."""
+    ts = TransitionSystem(name=name)
+    sorts: dict[int, int] = {}  # node id -> bit width
+    terms: dict[int, BV] = {}  # node id -> term
+    state_names: dict[int, str] = {}  # node id -> state name
+    anon_counter = 0
+    bad_counter = 0
+
+    def resolve(node_id_text: str) -> BV:
+        node_id = int(node_id_text)
+        if node_id >= 0:
+            term = terms.get(node_id)
+            if term is None:
+                raise Btor2Error(f"node {node_id} referenced before definition")
+            return term
+        term = terms.get(-node_id)
+        if term is None:
+            raise Btor2Error(f"node {-node_id} referenced before definition")
+        return T.bv_not(term)
+
+    for raw_line in text.splitlines():
+        line = raw_line.split(";", 1)[0].strip()
+        if not line:
+            continue
+        parts = line.split()
+        node_id = int(parts[0])
+        kind = parts[1]
+
+        if kind == "sort":
+            if parts[2] != "bitvec":
+                raise Btor2Error(f"unsupported sort {parts[2]!r} (only bitvec)")
+            sorts[node_id] = int(parts[3])
+        elif kind in ("input", "state"):
+            width = sorts[int(parts[2])]
+            if len(parts) > 3:
+                symbol_name = parts[3]
+            else:
+                symbol_name = f"{kind}_{node_id}"
+                anon_counter += 1
+            if kind == "input":
+                terms[node_id] = ts.add_input(symbol_name, width)
+            else:
+                terms[node_id] = ts.add_state(symbol_name, width)
+                state_names[node_id] = symbol_name
+        elif kind in ("constd", "const", "consth"):
+            width = sorts[int(parts[2])]
+            base = {"constd": 10, "const": 2, "consth": 16}[kind]
+            terms[node_id] = T.bv_const(int(parts[3], base), width)
+        elif kind == "init":
+            state_id = int(parts[3])
+            ts.set_init(state_names[state_id], resolve(parts[4]))
+        elif kind == "next":
+            state_id = int(parts[3])
+            ts.set_next(state_names[state_id], resolve(parts[4]))
+        elif kind == "constraint":
+            ts.add_constraint(resolve(parts[2]))
+        elif kind == "bad":
+            prop_name = parts[3] if len(parts) > 3 else f"bad_{bad_counter}"
+            bad_counter += 1
+            ts.add_property(prop_name, T.bv_not(resolve(parts[2])))
+        elif kind == "not":
+            terms[node_id] = T.bv_not(resolve(parts[3]))
+        elif kind == "ite":
+            terms[node_id] = T.bv_ite(
+                resolve(parts[3]), resolve(parts[4]), resolve(parts[5])
+            )
+        elif kind == "slice":
+            terms[node_id] = T.bv_extract(
+                resolve(parts[3]), int(parts[4]), int(parts[5])
+            )
+        elif kind == "uext":
+            width = sorts[int(parts[2])]
+            terms[node_id] = T.bv_zext(resolve(parts[3]), width)
+        elif kind == "sext":
+            width = sorts[int(parts[2])]
+            terms[node_id] = T.bv_sext(resolve(parts[3]), width)
+        elif kind in _BINARY_BUILDERS:
+            terms[node_id] = _BINARY_BUILDERS[kind](resolve(parts[3]), resolve(parts[4]))
+        else:
+            raise Btor2Error(f"unsupported BTOR2 operator {kind!r}")
+    return ts

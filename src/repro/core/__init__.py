@@ -1,0 +1,13 @@
+"""Top-level verification flows: SQED and SEPE-SQED.
+
+These classes glue everything together the way Sections 3 and 5 of the
+paper describe: pick (or synthesize) equivalent programs, build the QED
+verification model around the DUV, run bounded model checking on the
+universal consistency property, and report whether the injected bug was
+detected, how long it took and how long the counterexample is.
+"""
+
+from repro.core.results import VerificationOutcome
+from repro.core.flow import SqedFlow, SepeSqedFlow, pool_for_bug
+
+__all__ = ["VerificationOutcome", "SqedFlow", "SepeSqedFlow", "pool_for_bug"]

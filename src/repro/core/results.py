@@ -1,0 +1,43 @@
+"""Result records produced by the verification flows."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.bmc.engine import BmcResult
+from repro.bmc.trace import Trace
+
+
+@dataclass
+class VerificationOutcome:
+    """One (method, bug) verification run.
+
+    ``detected`` is ``True`` when BMC found a violation of the QED
+    consistency property (i.e. a bug trace), ``False`` when the property held
+    up to the bound, and ``None`` when the solver budget ran out.
+    """
+
+    method: str
+    bug_name: Optional[str]
+    detected: Optional[bool]
+    runtime_seconds: float
+    bound: int
+    counterexample_length: Optional[int] = None
+    bmc_result: Optional[BmcResult] = None
+
+    @property
+    def trace(self) -> Optional[Trace]:
+        return None if self.bmc_result is None else self.bmc_result.trace
+
+    def summary_row(self) -> list[str]:
+        """Row used by the experiment harnesses' tables."""
+        status = {True: "detected", False: "not detected", None: "inconclusive"}[self.detected]
+        length = "-" if self.counterexample_length is None else str(self.counterexample_length)
+        return [
+            self.bug_name or "golden",
+            self.method,
+            status,
+            f"{self.runtime_seconds:.2f}s",
+            length,
+        ]

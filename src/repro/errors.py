@@ -1,0 +1,55 @@
+"""Exception hierarchy for the SEPE-SQED reproduction.
+
+Every subsystem raises a subclass of :class:`ReproError` so callers can
+catch library failures without also swallowing programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class SatError(ReproError):
+    """Malformed CNF input or misuse of the SAT solver API."""
+
+
+class SmtError(ReproError):
+    """Ill-typed bit-vector terms or unsupported operations."""
+
+
+class IsaError(ReproError):
+    """Unknown instruction, bad operand, or encoding/decoding failure."""
+
+
+class AssemblerError(IsaError):
+    """Syntax error in assembly text."""
+
+
+class SynthesisError(ReproError):
+    """Program synthesis failed in an unexpected way (not mere UNSAT)."""
+
+
+class TransitionSystemError(ReproError):
+    """Inconsistent transition-system definition (missing next/init, type clash)."""
+
+
+class Btor2Error(ReproError):
+    """Malformed BTOR2 text or unsupported node during conversion."""
+
+
+class BmcError(ReproError):
+    """Bounded-model-checking driver misuse (bad bound, missing property)."""
+
+
+class ProcessorError(ReproError):
+    """Invalid processor configuration or unknown bug identifier."""
+
+
+class QedError(ReproError):
+    """Invalid QED register partition or transformation failure."""
+
+
+class VerificationError(ReproError):
+    """Top-level SQED / SEPE-SQED flow failure."""

@@ -1,0 +1,134 @@
+"""A small two-way assembler for the supported RV32IM subset.
+
+Accepted syntax mirrors standard RISC-V assembly with ``x<N>`` register
+names, e.g.::
+
+    ADD  x1, x2, x3
+    XORI x1, x2, 0xfff
+    SW   x2, 4(x3)
+    LW   x1, 0(x3)
+    LUI  x1, 0x12
+
+Commas are optional.  ``#`` starts a comment.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.errors import AssemblerError
+from repro.isa.instructions import Instruction, get_instruction
+from repro.utils.bitops import to_unsigned
+
+_MEM_OPERAND = re.compile(r"^(-?\w+)\((x\d+)\)$")
+
+
+def _parse_register(token: str) -> int:
+    token = token.strip().lower()
+    if not token.startswith("x"):
+        raise AssemblerError(f"expected a register like 'x3', got {token!r}")
+    try:
+        return int(token[1:])
+    except ValueError as exc:
+        raise AssemblerError(f"malformed register {token!r}") from exc
+
+
+def _parse_immediate(token: str, width: int = 12) -> int:
+    token = token.strip()
+    try:
+        value = int(token, 0)
+    except ValueError as exc:
+        raise AssemblerError(f"malformed immediate {token!r}") from exc
+    return to_unsigned(value, width)
+
+
+def assemble_line(line: str) -> Instruction | None:
+    """Assemble one line; returns ``None`` for blank / comment-only lines."""
+    text = line.split("#", 1)[0].strip()
+    if not text:
+        return None
+    parts = text.replace(",", " ").split()
+    mnemonic = parts[0].upper()
+    defn = get_instruction(mnemonic)
+    operands = parts[1:]
+
+    if defn.fmt == "R":
+        if len(operands) != 3:
+            raise AssemblerError(f"{mnemonic} expects 3 operands, got {len(operands)}")
+        return Instruction(
+            mnemonic,
+            rd=_parse_register(operands[0]),
+            rs1=_parse_register(operands[1]),
+            rs2=_parse_register(operands[2]),
+        )
+    if defn.fmt == "I" and not defn.is_load:
+        if len(operands) != 3:
+            raise AssemblerError(f"{mnemonic} expects 3 operands, got {len(operands)}")
+        return Instruction(
+            mnemonic,
+            rd=_parse_register(operands[0]),
+            rs1=_parse_register(operands[1]),
+            imm=_parse_immediate(operands[2]),
+        )
+    if defn.is_load:
+        if len(operands) != 2:
+            raise AssemblerError(f"{mnemonic} expects 2 operands, got {len(operands)}")
+        match = _MEM_OPERAND.match(operands[1])
+        if not match:
+            raise AssemblerError(f"malformed memory operand {operands[1]!r}")
+        return Instruction(
+            mnemonic,
+            rd=_parse_register(operands[0]),
+            rs1=_parse_register(match.group(2)),
+            imm=_parse_immediate(match.group(1)),
+        )
+    if defn.is_store:
+        if len(operands) != 2:
+            raise AssemblerError(f"{mnemonic} expects 2 operands, got {len(operands)}")
+        match = _MEM_OPERAND.match(operands[1])
+        if not match:
+            raise AssemblerError(f"malformed memory operand {operands[1]!r}")
+        return Instruction(
+            mnemonic,
+            rs2=_parse_register(operands[0]),
+            rs1=_parse_register(match.group(2)),
+            imm=_parse_immediate(match.group(1)),
+        )
+    if defn.fmt == "U":
+        if len(operands) != 2:
+            raise AssemblerError(f"{mnemonic} expects 2 operands, got {len(operands)}")
+        return Instruction(
+            mnemonic,
+            rd=_parse_register(operands[0]),
+            imm=_parse_immediate(operands[1], width=20),
+        )
+    raise AssemblerError(f"cannot assemble format {defn.fmt!r}")
+
+
+def assemble(text: str) -> list[Instruction]:
+    """Assemble a multi-line program, skipping blank lines and comments."""
+    program: list[Instruction] = []
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        try:
+            instr = assemble_line(line)
+        except AssemblerError as exc:
+            raise AssemblerError(f"line {lineno}: {exc}") from exc
+        if instr is not None:
+            program.append(instr)
+    return program
+
+
+def format_instruction(instr: Instruction) -> str:
+    """Render an :class:`Instruction` back to assembly text."""
+    defn = get_instruction(instr.name)
+    if defn.fmt == "R":
+        return f"{instr.name} x{instr.rd}, x{instr.rs1}, x{instr.rs2}"
+    if defn.is_load:
+        return f"{instr.name} x{instr.rd}, {instr.imm}(x{instr.rs1})"
+    if defn.is_store:
+        return f"{instr.name} x{instr.rs2}, {instr.imm}(x{instr.rs1})"
+    if defn.fmt == "I":
+        return f"{instr.name} x{instr.rd}, x{instr.rs1}, {instr.imm:#x}"
+    if defn.fmt == "U":
+        return f"{instr.name} x{instr.rd}, {instr.imm:#x}"
+    return instr.name

@@ -1,0 +1,87 @@
+"""Datapath configuration for the RV32IM subset.
+
+The paper's DUV is a 32-bit core with 32 general-purpose registers.  All of
+the semantics in this repo are parameterised over :class:`IsaConfig`, so the
+same code runs at XLEN=32 (faithful to the paper) and at the narrower widths
+the experiments use to keep the pure-Python SAT backend tractable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import IsaError
+from repro.utils.bitops import clog2
+
+
+@dataclass(frozen=True)
+class IsaConfig:
+    """Width and register-file parameters shared across the whole stack.
+
+    Attributes:
+        xlen: register / datapath width in bits.
+        num_regs: number of general-purpose registers (register x0 is
+            hard-wired to zero, as in RISC-V).
+        imm_width: width of I-type immediates before sign extension.
+        mem_words: number of data-memory words modelled by the processor.
+    """
+
+    xlen: int = 32
+    num_regs: int = 32
+    imm_width: int = 12
+    mem_words: int = 4
+
+    def __post_init__(self) -> None:
+        if self.xlen < 4:
+            raise IsaError(f"xlen must be at least 4, got {self.xlen}")
+        if self.num_regs < 4 or self.num_regs & (self.num_regs - 1):
+            raise IsaError(
+                f"num_regs must be a power of two >= 4, got {self.num_regs}"
+            )
+        if not (1 <= self.imm_width <= self.xlen):
+            raise IsaError(
+                f"imm_width must be in [1, xlen]; got {self.imm_width} with xlen {self.xlen}"
+            )
+        if self.mem_words < 1 or self.mem_words & (self.mem_words - 1):
+            raise IsaError(
+                f"mem_words must be a power of two >= 1, got {self.mem_words}"
+            )
+
+    @property
+    def shamt_width(self) -> int:
+        """Width of a shift amount (log2 of xlen)."""
+        return clog2(self.xlen)
+
+    @property
+    def reg_index_width(self) -> int:
+        """Number of bits needed to address the register file."""
+        return clog2(self.num_regs)
+
+    @property
+    def mem_index_width(self) -> int:
+        """Number of bits needed to address the modelled data memory."""
+        return max(1, clog2(self.mem_words))
+
+    @property
+    def lui_shift(self) -> int:
+        """Left shift applied by LUI (12 for RV32, clipped for narrow widths)."""
+        return 12 if self.xlen > 12 else 0
+
+    @classmethod
+    def rv32(cls, mem_words: int = 4) -> "IsaConfig":
+        """The paper-faithful configuration: 32-bit, 32 registers."""
+        return cls(xlen=32, num_regs=32, imm_width=12, mem_words=mem_words)
+
+    @classmethod
+    def small(cls, xlen: int = 8, num_regs: int = 8, mem_words: int = 4) -> "IsaConfig":
+        """A scaled-down configuration used by tests and experiments."""
+        return cls(
+            xlen=xlen,
+            num_regs=num_regs,
+            imm_width=min(12, xlen),
+            mem_words=mem_words,
+        )
+
+
+DEFAULT_CONFIG = IsaConfig.rv32()
+SMALL_CONFIG = IsaConfig.small()

@@ -1,0 +1,129 @@
+"""Standard 32-bit RISC-V instruction word encoding and decoding.
+
+The symbolic processor models use a compact micro-encoding internally (see
+:mod:`repro.proc.pipeline`), but the full RV32 word encoding is provided so
+programs can be round-tripped to real machine words, which is what the
+Yosys/BTOR2 flow in the paper consumes.  Only the opcodes in
+:mod:`repro.isa.instructions` are supported.
+"""
+
+from __future__ import annotations
+
+from repro.errors import IsaError
+from repro.isa.instructions import (
+    INSTRUCTIONS,
+    Instruction,
+    InstructionDef,
+    get_instruction,
+)
+from repro.utils.bitops import mask, sext, to_unsigned
+
+
+def _field(value: int, width: int, name: str) -> int:
+    if value < 0 or value > mask(width):
+        raise IsaError(f"{name} value {value} does not fit in {width} bits")
+    return value
+
+
+def encode_instruction(instr: Instruction) -> int:
+    """Encode an :class:`Instruction` into a 32-bit RV32 machine word.
+
+    Immediates are interpreted as 12-bit two's-complement values (20-bit for
+    LUI).  Register indices must fit the 5-bit fields.
+    """
+    defn = get_instruction(instr.name)
+    rd = _field(instr.rd or 0, 5, "rd")
+    rs1 = _field(instr.rs1 or 0, 5, "rs1")
+    rs2 = _field(instr.rs2 or 0, 5, "rs2")
+    imm = instr.imm or 0
+
+    if defn.fmt == "R":
+        return (
+            (defn.funct7 << 25)
+            | (rs2 << 20)
+            | (rs1 << 15)
+            | (defn.funct3 << 12)
+            | (rd << 7)
+            | defn.opcode
+        )
+    if defn.fmt == "I":
+        imm12 = to_unsigned(imm, 12)
+        if defn.name in ("SLLI", "SRLI", "SRAI"):
+            imm12 = (defn.funct7 << 5) | (imm & 0x1F)
+        return (
+            (imm12 << 20)
+            | (rs1 << 15)
+            | (defn.funct3 << 12)
+            | (rd << 7)
+            | defn.opcode
+        )
+    if defn.fmt == "S":
+        imm12 = to_unsigned(imm, 12)
+        imm_high = (imm12 >> 5) & 0x7F
+        imm_low = imm12 & 0x1F
+        return (
+            (imm_high << 25)
+            | (rs2 << 20)
+            | (rs1 << 15)
+            | (defn.funct3 << 12)
+            | (imm_low << 7)
+            | defn.opcode
+        )
+    if defn.fmt == "U":
+        imm20 = to_unsigned(imm, 20)
+        return (imm20 << 12) | (rd << 7) | defn.opcode
+    raise IsaError(f"unsupported format {defn.fmt!r} for {defn.name}")
+
+
+def _match_r(opcode: int, funct3: int, funct7: int) -> InstructionDef | None:
+    for defn in INSTRUCTIONS.values():
+        if defn.fmt == "R" and defn.opcode == opcode and defn.funct3 == funct3 and defn.funct7 == funct7:
+            return defn
+    return None
+
+
+def _match_i(opcode: int, funct3: int, funct7: int) -> InstructionDef | None:
+    candidates = [
+        d
+        for d in INSTRUCTIONS.values()
+        if d.fmt == "I" and d.opcode == opcode and d.funct3 == funct3
+    ]
+    if not candidates:
+        return None
+    if len(candidates) == 1:
+        return candidates[0]
+    # SRLI vs SRAI share funct3 and are distinguished by funct7.
+    for defn in candidates:
+        if defn.funct7 == funct7:
+            return defn
+    return None
+
+
+def decode_instruction(word: int) -> Instruction:
+    """Decode a 32-bit RV32 machine word into an :class:`Instruction`."""
+    word &= mask(32)
+    opcode = word & 0x7F
+    rd = (word >> 7) & 0x1F
+    funct3 = (word >> 12) & 0x7
+    rs1 = (word >> 15) & 0x1F
+    rs2 = (word >> 20) & 0x1F
+    funct7 = (word >> 25) & 0x7F
+
+    defn = _match_r(opcode, funct3, funct7)
+    if defn is not None:
+        return Instruction(defn.name, rd=rd, rs1=rs1, rs2=rs2)
+
+    defn = _match_i(opcode, funct3, funct7)
+    if defn is not None:
+        imm12 = (word >> 20) & 0xFFF
+        if defn.name in ("SLLI", "SRLI", "SRAI"):
+            return Instruction(defn.name, rd=rd, rs1=rs1, imm=rs2)
+        return Instruction(defn.name, rd=rd, rs1=rs1, imm=to_unsigned(sext(imm12, 12, 32), 32) & 0xFFF)
+
+    if opcode == 0b0100011 and funct3 == 0b010:
+        imm12 = (funct7 << 5) | rd
+        return Instruction("SW", rs1=rs1, rs2=rs2, imm=imm12)
+    if opcode == 0b0110111:
+        imm20 = (word >> 12) & 0xFFFFF
+        return Instruction("LUI", rd=rd, imm=imm20)
+    raise IsaError(f"cannot decode instruction word {word:#010x}")

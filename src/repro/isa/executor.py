@@ -1,0 +1,102 @@
+"""Architectural-state instruction-set simulator.
+
+The executor models exactly the architectural state SQED's consistency
+property talks about: a register file (``x0`` hard-wired to zero) and a
+small word-addressed data memory.  It is used to replay counterexample
+traces, to cross-check the symbolic processor models, and by the examples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.errors import IsaError
+from repro.isa.config import IsaConfig
+from repro.isa.instructions import Instruction, get_instruction, result_value
+from repro.utils.bitops import mask
+
+
+@dataclass
+class ArchState:
+    """Architectural state: registers, data memory and an instruction counter."""
+
+    config: IsaConfig
+    regs: list[int] = field(default_factory=list)
+    mem: list[int] = field(default_factory=list)
+    executed: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.regs:
+            self.regs = [0] * self.config.num_regs
+        if not self.mem:
+            self.mem = [0] * self.config.mem_words
+        if len(self.regs) != self.config.num_regs:
+            raise IsaError(
+                f"expected {self.config.num_regs} registers, got {len(self.regs)}"
+            )
+        if len(self.mem) != self.config.mem_words:
+            raise IsaError(
+                f"expected {self.config.mem_words} memory words, got {len(self.mem)}"
+            )
+
+    def read_reg(self, index: int) -> int:
+        self._check_reg(index)
+        return 0 if index == 0 else self.regs[index]
+
+    def write_reg(self, index: int, value: int) -> None:
+        self._check_reg(index)
+        if index != 0:
+            self.regs[index] = value & mask(self.config.xlen)
+
+    def read_mem(self, address: int) -> int:
+        return self.mem[address % self.config.mem_words]
+
+    def write_mem(self, address: int, value: int) -> None:
+        self.mem[address % self.config.mem_words] = value & mask(self.config.xlen)
+
+    def copy(self) -> "ArchState":
+        return ArchState(
+            config=self.config,
+            regs=list(self.regs),
+            mem=list(self.mem),
+            executed=self.executed,
+        )
+
+    def _check_reg(self, index: int) -> None:
+        if not (0 <= index < self.config.num_regs):
+            raise IsaError(
+                f"register index {index} out of range (num_regs={self.config.num_regs})"
+            )
+
+
+def execute_instruction(state: ArchState, instr: Instruction) -> ArchState:
+    """Execute one instruction in place and return the (same) state."""
+    cfg = state.config
+    defn = get_instruction(instr.name)
+    rs1 = state.read_reg(instr.rs1) if defn.uses_rs1 else 0
+    rs2 = state.read_reg(instr.rs2) if defn.uses_rs2 else 0
+    result = result_value(cfg, instr, rs1, rs2)
+
+    if defn.is_store:
+        state.write_mem(result, rs2)
+    elif defn.is_load:
+        loaded = state.read_mem(result)
+        if instr.rd is None:
+            raise IsaError(f"{instr.name} requires a destination register")
+        state.write_reg(instr.rd, loaded)
+    elif defn.writes_rd:
+        if instr.rd is None:
+            raise IsaError(f"{instr.name} requires a destination register")
+        state.write_reg(instr.rd, result)
+    state.executed += 1
+    return state
+
+
+def execute_program(
+    state: ArchState, program: Sequence[Instruction] | Iterable[Instruction]
+) -> ArchState:
+    """Execute a straight-line program (no branches in the supported subset)."""
+    for instr in program:
+        execute_instruction(state, instr)
+    return state

@@ -1,0 +1,35 @@
+"""Symbolic processor models (the design under verification).
+
+The paper verifies RIDECORE, an out-of-order RISC-V core written in Verilog.
+That RTL (and the Yosys flow around it) is not available offline, so this
+package provides parameterisable pipelined processor models built directly
+as transition systems over bit-vector terms:
+
+* :class:`~repro.proc.pipeline.PipelineProcessor` — an in-order pipeline
+  (decode/execute/write-back) with operand forwarding, a register file with
+  a hard-wired zero register, and a small word-addressed data memory.
+* :mod:`repro.proc.bugs` — a catalog of injectable mutations: the
+  *single-instruction* bugs of Table 1 and the *multiple-instruction*
+  (sequence-dependent) bugs of Figure 4.
+
+The models accept the instruction stream from the QED module
+(:mod:`repro.qed`), which is how Figure 2 of the paper wires EDSEP-V in
+front of the DUV.
+"""
+
+from repro.proc.config import ProcessorConfig
+from repro.proc.bugs import Bug, BugKind, bug_catalog, get_bug, single_instruction_bugs, multiple_instruction_bugs
+from repro.proc.pipeline import PipelineProcessor, InstructionSignals, ProcessorHandles
+
+__all__ = [
+    "ProcessorConfig",
+    "Bug",
+    "BugKind",
+    "bug_catalog",
+    "get_bug",
+    "single_instruction_bugs",
+    "multiple_instruction_bugs",
+    "PipelineProcessor",
+    "InstructionSignals",
+    "ProcessorHandles",
+]

@@ -1,0 +1,320 @@
+"""Transformation schemes: how an original instruction is re-expressed.
+
+* :class:`EddivScheme` — EDDI-V (classic SQED): each original instruction is
+  duplicated onto the shadow half of the register file (and, for loads and
+  stores, onto the shadow half of the memory).
+* :class:`EdsepvScheme` — EDSEP-V (SEPE-SQED): each original instruction is
+  replaced by its synthesized semantically equivalent program, with the
+  program's register inputs mapped O→E, its intermediate values allocated to
+  the T registers (read-after-write order preserved, Section 5), and loads /
+  stores completed by a final memory access on the shadow memory half.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Optional, Sequence
+
+from repro.errors import QedError
+from repro.isa.instructions import get_instruction
+from repro.proc.config import ProcessorConfig
+from repro.qed.mapping import MemoryPartition, RegisterPartition
+from repro.smt import terms as T
+from repro.smt.terms import BV
+from repro.synth.program import SynthesizedProgram, TemplateInstruction, TemplateOperand
+from repro.utils.bitops import mask
+
+
+@dataclass
+class EntryFields:
+    """Symbolic fields of a recorded original instruction (one FIFO entry)."""
+
+    op: BV
+    rd: BV
+    rs1: BV
+    rs2: BV
+    imm: BV
+
+
+@dataclass
+class TransformedFields:
+    """Symbolic fields of one transformed instruction sent to the DUV."""
+
+    op: BV
+    rd: BV
+    rs1: BV
+    rs2: BV
+    imm: BV
+
+
+class TransformScheme:
+    """Common interface of the EDDI-V and EDSEP-V transformations."""
+
+    name = "abstract"
+
+    def __init__(self, partition: RegisterPartition, memory: MemoryPartition):
+        self.partition = partition
+        self.memory = memory
+
+    def allowed_ops(self, cfg: ProcessorConfig) -> list[str]:
+        """Original opcodes this scheme can transform (within the DUV pool)."""
+        raise NotImplementedError
+
+    def sequence_length(self, op: str) -> int:
+        """Number of transformed instructions dispatched per original ``op``."""
+        raise NotImplementedError
+
+    def max_sequence_length(self, cfg: ProcessorConfig) -> int:
+        return max(self.sequence_length(op) for op in self.allowed_ops(cfg))
+
+    def transformed_instruction(
+        self, cfg: ProcessorConfig, op: str, position: int, entry: EntryFields
+    ) -> TransformedFields:
+        """The ``position``-th transformed instruction for original ``op``."""
+        raise NotImplementedError
+
+    # ---------------------------------------------------------------- helpers
+
+    def _shift_register(self, cfg: ProcessorConfig, index_term: BV) -> BV:
+        """Map an original register index onto its shadow counterpart."""
+        offset = T.bv_const(self.partition.offset, cfg.isa.reg_index_width)
+        return T.bv_add(index_term, offset)
+
+
+class EddivScheme(TransformScheme):
+    """EDDI-V: duplicate every original instruction onto the shadow registers."""
+
+    name = "eddiv"
+
+    def allowed_ops(self, cfg: ProcessorConfig) -> list[str]:
+        return list(cfg.supported_ops)
+
+    def sequence_length(self, op: str) -> int:
+        return 1
+
+    def transformed_instruction(
+        self, cfg: ProcessorConfig, op: str, position: int, entry: EntryFields
+    ) -> TransformedFields:
+        if position != 0:
+            raise QedError("EDDI-V sequences have length one")
+        defn = get_instruction(op)
+        imm = entry.imm
+        if defn.is_load or defn.is_store:
+            imm = T.bv_add(entry.imm, T.bv_const(self.memory.half, cfg.isa.imm_width))
+        return TransformedFields(
+            op=T.bv_const(cfg.op_index(op), cfg.op_width),
+            rd=self._shift_register(cfg, entry.rd),
+            rs1=self._shift_register(cfg, entry.rs1),
+            rs2=self._shift_register(cfg, entry.rs2),
+            imm=imm,
+        )
+
+
+class EdsepvScheme(TransformScheme):
+    """EDSEP-V: replace each original instruction by its equivalent program."""
+
+    name = "edsepv"
+
+    def __init__(
+        self,
+        partition: RegisterPartition,
+        memory: MemoryPartition,
+        equivalents: Mapping[str, SynthesizedProgram],
+    ):
+        super().__init__(partition, memory)
+        if not partition.temps:
+            raise QedError("EDSEP-V needs at least one temporary register")
+        self.equivalents = dict(equivalents)
+        self._plans: dict[str, list[_PlannedInstruction]] = {}
+        for op, program in self.equivalents.items():
+            self._plans[op] = self._plan(op, program)
+
+    # ------------------------------------------------------------- planning
+
+    def _plan(self, op: str, program: SynthesizedProgram) -> list["_PlannedInstruction"]:
+        """Expand a synthesized program and allocate its temporaries."""
+        defn = get_instruction(op)
+        templates = list(program.expand())
+        is_memory_op = defn.is_load or defn.is_store
+
+        appended: Optional[TemplateInstruction] = None
+        if is_memory_op:
+            # The program computes the effective address; complete it with a
+            # real memory access on the shadow half of the memory.
+            address_virtual = TemplateOperand("virtual", len(templates) - 1)
+            if defn.is_store:
+                appended = TemplateInstruction(
+                    "SW",
+                    rd=TemplateOperand("zero"),
+                    rs1=address_virtual,
+                    rs2=TemplateOperand("prog_reg", 1),
+                    imm=TemplateOperand("const", self.memory.half),
+                )
+            else:
+                appended = TemplateInstruction(
+                    "LW",
+                    rd=TemplateOperand("shadow_rd"),
+                    rs1=address_virtual,
+                    imm=TemplateOperand("const", self.memory.half),
+                )
+
+        all_instructions = templates + ([appended] if appended is not None else [])
+
+        # Liveness of each virtual value (last position where it is read).
+        last_use: dict[int, int] = {}
+        for index, instr in enumerate(all_instructions):
+            for operand in (instr.rs1, instr.rs2):
+                if operand is not None and operand.kind == "virtual":
+                    last_use[operand.index] = index
+
+        free_temps = list(self.partition.temps)
+        virtual_to_reg: dict[int, int] = {}
+        planned: list[_PlannedInstruction] = []
+        final_output_virtual = len(templates) - 1
+
+        for index, instr in enumerate(all_instructions):
+            # Resolve source operands before anything else (they read the
+            # current virtual-to-register mapping).
+            rs1_source = self._planned_operand(instr.rs1, virtual_to_reg)
+            rs2_source = self._planned_operand(instr.rs2, virtual_to_reg)
+
+            # Registers whose value is read for the last time by this very
+            # instruction can be reused as its destination (read-before-write
+            # within one instruction), so release them now.
+            for virtual, reg in list(virtual_to_reg.items()):
+                if last_use.get(virtual, -1) <= index and reg not in free_temps:
+                    free_temps.append(reg)
+                    del virtual_to_reg[virtual]
+
+            dest_kind = "none"
+            dest_temp = 0
+            if instr.rd is not None and instr.rd.kind == "virtual":
+                virtual = instr.rd.index
+                if virtual == final_output_virtual and not is_memory_op and defn.writes_rd:
+                    dest_kind = "shadow_rd"
+                elif virtual in last_use:
+                    if not free_temps:
+                        raise QedError(
+                            f"equivalent program for {op} needs more temporary "
+                            f"registers than the partition provides"
+                        )
+                    dest_temp = free_temps.pop(0)
+                    virtual_to_reg[virtual] = dest_temp
+                    dest_kind = "temp"
+                else:
+                    # The value is never read again; still needs a destination.
+                    dest_temp = free_temps[0] if free_temps else self.partition.temps[-1]
+                    virtual_to_reg[virtual] = dest_temp
+                    dest_kind = "temp"
+            elif instr.rd is not None and instr.rd.kind == "shadow_rd":
+                dest_kind = "shadow_rd"
+
+            planned.append(
+                _PlannedInstruction(
+                    mnemonic=instr.mnemonic,
+                    dest_kind=dest_kind,
+                    dest_temp=dest_temp,
+                    rs1=rs1_source,
+                    rs2=rs2_source,
+                    imm=instr.imm,
+                )
+            )
+        return planned
+
+    @staticmethod
+    def _planned_operand(
+        operand: Optional[TemplateOperand], virtual_to_reg: dict[int, int]
+    ) -> Optional[tuple[str, int]]:
+        if operand is None:
+            return None
+        if operand.kind == "virtual":
+            if operand.index not in virtual_to_reg:
+                raise QedError("equivalent program reads a value that was never produced")
+            return ("temp", virtual_to_reg[operand.index])
+        if operand.kind == "prog_reg":
+            return ("prog_reg", operand.index)
+        if operand.kind == "zero":
+            return ("zero", 0)
+        raise QedError(f"unexpected operand kind {operand.kind!r} in register position")
+
+    # ------------------------------------------------------------ interface
+
+    def allowed_ops(self, cfg: ProcessorConfig) -> list[str]:
+        ops = []
+        for op, plan in self._plans.items():
+            if op not in cfg.supported_ops:
+                continue
+            if all(step.mnemonic in cfg.supported_ops for step in plan):
+                ops.append(op)
+        return ops
+
+    def sequence_length(self, op: str) -> int:
+        if op not in self._plans:
+            raise QedError(f"no equivalent program registered for {op!r}")
+        return len(self._plans[op])
+
+    def plan_for(self, op: str) -> list["_PlannedInstruction"]:
+        """The planned (register-allocated) sequence for an original opcode."""
+        if op not in self._plans:
+            raise QedError(f"no equivalent program registered for {op!r}")
+        return list(self._plans[op])
+
+    def transformed_instruction(
+        self, cfg: ProcessorConfig, op: str, position: int, entry: EntryFields
+    ) -> TransformedFields:
+        plan = self.plan_for(op)
+        if not (0 <= position < len(plan)):
+            raise QedError(f"position {position} out of range for {op}")
+        step = plan[position]
+        isa = cfg.isa
+        regw = isa.reg_index_width
+        zero_reg = T.bv_const(0, regw)
+
+        def register_operand(source: Optional[tuple[str, int]]) -> BV:
+            if source is None:
+                return zero_reg
+            kind, value = source
+            if kind == "temp":
+                return T.bv_const(value, regw)
+            if kind == "zero":
+                return zero_reg
+            if kind == "prog_reg":
+                base = entry.rs1 if value == 0 else entry.rs2
+                return self._shift_register(cfg, base)
+            raise QedError(f"unexpected planned operand {kind!r}")
+
+        if step.dest_kind == "shadow_rd":
+            rd_term = self._shift_register(cfg, entry.rd)
+        elif step.dest_kind == "temp":
+            rd_term = T.bv_const(step.dest_temp, regw)
+        else:
+            rd_term = zero_reg
+
+        if step.imm is None:
+            imm_term = T.bv_const(0, isa.imm_width)
+        elif step.imm.kind == "const":
+            imm_term = T.bv_const(step.imm.index & mask(isa.imm_width), isa.imm_width)
+        elif step.imm.kind == "prog_imm":
+            imm_term = entry.imm
+        else:
+            raise QedError(f"unexpected immediate operand kind {step.imm.kind!r}")
+
+        return TransformedFields(
+            op=T.bv_const(cfg.op_index(step.mnemonic), cfg.op_width),
+            rd=rd_term,
+            rs1=register_operand(step.rs1),
+            rs2=register_operand(step.rs2),
+            imm=imm_term,
+        )
+
+
+@dataclass
+class _PlannedInstruction:
+    """One instruction of an equivalent program after register allocation."""
+
+    mnemonic: str
+    dest_kind: str  # "shadow_rd", "temp" or "none"
+    dest_temp: int
+    rs1: Optional[tuple[str, int]]
+    rs2: Optional[tuple[str, int]]
+    imm: Optional[TemplateOperand]

@@ -1,0 +1,15 @@
+"""A self-contained CDCL SAT solver.
+
+The paper's toolchain relies on an SMT solver (for CEGIS) and on Pono's BMC
+engine (which itself discharges queries to a SAT/SMT backend).  Neither is
+available offline, so this package provides the bottom of the stack: a
+conflict-driven clause-learning SAT solver with two-watched-literal
+propagation, VSIDS branching, phase saving, Luby restarts and first-UIP
+clause learning.  The bit-vector layer (:mod:`repro.smt`) bit-blasts to CNF
+and queries this solver.
+"""
+
+from repro.sat.cnf import CNF, parse_dimacs, to_dimacs
+from repro.sat.solver import SatSolver, SatResult
+
+__all__ = ["CNF", "parse_dimacs", "to_dimacs", "SatSolver", "SatResult"]

@@ -1,0 +1,102 @@
+"""CNF formula container and DIMACS serialisation.
+
+Literals follow the DIMACS convention: variables are positive integers and a
+negative integer denotes the negated variable.  Variable 0 is never used.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence
+
+from repro.errors import SatError
+
+
+class CNF:
+    """A formula in conjunctive normal form.
+
+    The class tracks the highest variable index seen so fresh variables can
+    be allocated with :meth:`new_var`, which is how the Tseitin encoder uses
+    it.
+    """
+
+    def __init__(self, clauses: Iterable[Sequence[int]] | None = None, num_vars: int = 0):
+        self.clauses: list[tuple[int, ...]] = []
+        self.num_vars = int(num_vars)
+        if clauses is not None:
+            for clause in clauses:
+                self.add_clause(clause)
+
+    def new_var(self) -> int:
+        """Allocate and return a fresh variable index."""
+        self.num_vars += 1
+        return self.num_vars
+
+    def add_clause(self, literals: Sequence[int]) -> None:
+        """Add a clause given as a sequence of non-zero DIMACS literals."""
+        clause = tuple(int(lit) for lit in literals)
+        for lit in clause:
+            if lit == 0:
+                raise SatError("literal 0 is not allowed in a clause")
+            self.num_vars = max(self.num_vars, abs(lit))
+        self.clauses.append(clause)
+
+    def extend(self, clauses: Iterable[Sequence[int]]) -> None:
+        """Add many clauses at once."""
+        for clause in clauses:
+            self.add_clause(clause)
+
+    def __len__(self) -> int:
+        return len(self.clauses)
+
+    def __iter__(self) -> Iterator[tuple[int, ...]]:
+        return iter(self.clauses)
+
+    def copy(self) -> "CNF":
+        """Return an independent copy of this formula."""
+        dup = CNF(num_vars=self.num_vars)
+        dup.clauses = list(self.clauses)
+        return dup
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"CNF(num_vars={self.num_vars}, num_clauses={len(self.clauses)})"
+
+
+def to_dimacs(cnf: CNF) -> str:
+    """Serialise ``cnf`` to DIMACS text."""
+    lines = [f"p cnf {cnf.num_vars} {len(cnf.clauses)}"]
+    for clause in cnf.clauses:
+        lines.append(" ".join(str(lit) for lit in clause) + " 0")
+    return "\n".join(lines) + "\n"
+
+
+def parse_dimacs(text: str) -> CNF:
+    """Parse DIMACS text into a :class:`CNF`.
+
+    Comment lines (``c ...``) are ignored; the problem line is optional but,
+    when present, its variable count is honoured even if larger than any
+    literal actually used.
+    """
+    cnf = CNF()
+    declared_vars = 0
+    current: list[int] = []
+    for raw_line in text.splitlines():
+        line = raw_line.strip()
+        if not line or line.startswith("c") or line.startswith("%"):
+            continue
+        if line.startswith("p"):
+            parts = line.split()
+            if len(parts) != 4 or parts[1] != "cnf":
+                raise SatError(f"malformed problem line: {line!r}")
+            declared_vars = int(parts[2])
+            continue
+        for token in line.split():
+            lit = int(token)
+            if lit == 0:
+                cnf.add_clause(current)
+                current = []
+            else:
+                current.append(lit)
+    if current:
+        raise SatError("DIMACS input ends with an unterminated clause")
+    cnf.num_vars = max(cnf.num_vars, declared_vars)
+    return cnf

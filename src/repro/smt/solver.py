@@ -1,0 +1,140 @@
+"""A small QF_BV solver facade: assert terms, check, read back models.
+
+``BVSolver`` mirrors the slice of an SMT solver API that the CEGIS engine
+and the BMC engine need: assert width-1 terms, check satisfiability (with
+optional width-1 assumptions), and query integer values of arbitrary terms
+in the found model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from repro.errors import SmtError
+from repro.sat.solver import SatSolver
+from repro.smt.bitblast import BitBlaster
+from repro.smt.evaluator import evaluate, free_variables
+from repro.smt.terms import BV
+from repro.utils.bitops import from_bits
+
+
+@dataclass
+class BVResult:
+    """Outcome of a bit-vector satisfiability check."""
+
+    satisfiable: Optional[bool]
+    model: dict[str, int] = field(default_factory=dict)
+    num_clauses: int = 0
+    num_vars: int = 0
+
+    def __bool__(self) -> bool:
+        return bool(self.satisfiable)
+
+    def value_of(self, term: BV) -> int:
+        """Evaluate ``term`` under the model (unassigned variables read as 0)."""
+        if not self.satisfiable:
+            raise SmtError("no model available: formula not satisfiable")
+        assignment = dict(self.model)
+        for var in free_variables(term):
+            assignment.setdefault(var.name or "", 0)
+        return evaluate(term, assignment)
+
+
+class BVSolver:
+    """Accumulate width-1 assertions and solve them by bit-blasting.
+
+    The solver is not incremental at the SAT level: every ``check`` call
+    re-blasts the current assertion set.  Word-level simplification plus the
+    modest problem sizes used in the experiments keep this affordable, and it
+    sidesteps the subtle invalidation issues a true incremental interface
+    would bring.
+    """
+
+    def __init__(self) -> None:
+        self._assertions: list[BV] = []
+
+    def add(self, term: BV) -> None:
+        """Assert a width-1 term."""
+        if term.width != 1:
+            raise SmtError(f"assertions must have width 1, got {term.width}")
+        self._assertions.append(term)
+
+    def add_all(self, terms: Iterable[BV]) -> None:
+        for term in terms:
+            self.add(term)
+
+    @property
+    def assertions(self) -> list[BV]:
+        return list(self._assertions)
+
+    def check(
+        self,
+        assumptions: Iterable[BV] = (),
+        conflict_budget: Optional[int] = None,
+    ) -> BVResult:
+        """Check satisfiability of the conjunction of assertions and assumptions."""
+        blaster = BitBlaster()
+        for term in self._assertions:
+            if term.is_const:
+                if term.const_value() == 0:
+                    return BVResult(False)
+                continue
+            blaster.assert_term(term)
+        assumption_lits = []
+        for term in assumptions:
+            if term.is_const:
+                if term.const_value() == 0:
+                    return BVResult(False)
+                continue
+            assumption_lits.append(blaster.assumption_literal(term))
+
+        solver = SatSolver(blaster.cnf)
+        result = solver.solve(
+            assumptions=assumption_lits, conflict_budget=conflict_budget
+        )
+        if result.satisfiable is None:
+            return BVResult(None)
+        if not result.satisfiable:
+            return BVResult(
+                False,
+                num_clauses=len(blaster.cnf.clauses),
+                num_vars=blaster.cnf.num_vars,
+            )
+
+        model: dict[str, int] = {}
+        relevant = set()
+        for term in self._assertions:
+            relevant |= free_variables(term)
+        for term in assumptions:
+            relevant |= free_variables(term)
+        for var in relevant:
+            assert var.name is not None
+            bits = blaster.variable_bits(var.name)
+            if bits is None:
+                model[var.name] = 0
+                continue
+            values = [1 if result.model.get(abs(b), False) == (b > 0) else 0 for b in bits]
+            model[var.name] = from_bits(values)
+        return BVResult(
+            True,
+            model=model,
+            num_clauses=len(blaster.cnf.clauses),
+            num_vars=blaster.cnf.num_vars,
+        )
+
+
+def check_sat(terms: Iterable[BV]) -> BVResult:
+    """One-shot satisfiability check of a collection of width-1 terms."""
+    solver = BVSolver()
+    solver.add_all(terms)
+    return solver.check()
+
+
+def check_valid(term: BV) -> bool:
+    """Return True when a width-1 term holds for every variable assignment."""
+    from repro.smt.terms import bv_not
+
+    solver = BVSolver()
+    solver.add(bv_not(term))
+    return not solver.check().satisfiable

@@ -1,0 +1,136 @@
+"""The core counterexample-guided inductive synthesis (CEGIS) loop.
+
+Given a specification and one multiset of components, the engine alternates
+between two SMT queries (Section 2.2):
+
+1. *finite synthesis* — find location / attribute assignments that satisfy
+   the specification on every counterexample collected so far,
+2. *verification* — check whether the decoded candidate program matches the
+   specification for **all** inputs; if not, the distinguishing input joins
+   the counterexample set.
+
+The loop ends with a verified :class:`SynthesizedProgram`, with ``None``
+when the multiset cannot realise the specification (finite synthesis becomes
+UNSAT), or with ``None`` when the iteration budget is exhausted.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.errors import SynthesisError
+from repro.smt import terms as T
+from repro.smt.solver import BVSolver
+from repro.synth.components import Component
+from repro.synth.encoder import LocationEncoder
+from repro.synth.program import SynthesizedProgram
+from repro.synth.spec import SynthesisSpec
+from repro.utils.bitops import mask
+
+
+@dataclass
+class CegisConfig:
+    """Tunable knobs of the CEGIS loop."""
+
+    max_iterations: int = 16
+    initial_examples: int = 2
+    conflict_budget: Optional[int] = None
+
+
+@dataclass
+class CegisStats:
+    """Work counters for one CEGIS invocation."""
+
+    iterations: int = 0
+    counterexamples: int = 0
+    synthesis_queries: int = 0
+    verification_queries: int = 0
+    elapsed_seconds: float = 0.0
+
+
+@dataclass
+class CegisOutcome:
+    """Result of one CEGIS invocation on one multiset."""
+
+    program: Optional[SynthesizedProgram]
+    stats: CegisStats = field(default_factory=CegisStats)
+
+    @property
+    def succeeded(self) -> bool:
+        return self.program is not None
+
+
+class CegisEngine:
+    """Runs the two-phase CEGIS loop for a (spec, multiset) pair."""
+
+    def __init__(self, config: CegisConfig | None = None):
+        self.config = config or CegisConfig()
+
+    # ----------------------------------------------------------------- public
+
+    def synthesize(
+        self, spec: SynthesisSpec, components: Sequence[Component]
+    ) -> CegisOutcome:
+        """Synthesize a program over ``components`` equivalent to ``spec``."""
+        start = time.perf_counter()
+        stats = CegisStats()
+        encoder = LocationEncoder(spec, components)
+
+        solver = BVSolver()
+        solver.add_all(encoder.wfp_constraints())
+        for example in self._seed_examples(spec):
+            stats.counterexamples += 1
+            solver.add_all(encoder.example_constraints(example))
+
+        program: Optional[SynthesizedProgram] = None
+        for _ in range(self.config.max_iterations):
+            stats.iterations += 1
+            stats.synthesis_queries += 1
+            result = solver.check(conflict_budget=self.config.conflict_budget)
+            if not result.satisfiable:
+                program = None
+                break
+            candidate = encoder.decode(result)
+            stats.verification_queries += 1
+            counterexample = self.find_counterexample(spec, candidate)
+            if counterexample is None:
+                program = candidate
+                break
+            stats.counterexamples += 1
+            solver.add_all(encoder.example_constraints(counterexample))
+        stats.elapsed_seconds = time.perf_counter() - start
+        return CegisOutcome(program=program, stats=stats)
+
+    def find_counterexample(
+        self, spec: SynthesisSpec, program: SynthesizedProgram
+    ) -> Optional[list[int]]:
+        """Return inputs where ``program`` disagrees with ``spec`` (or ``None``)."""
+        input_terms = spec.fresh_input_terms(prefix="verify")
+        spec_term = spec.output_term(input_terms)
+        program_term = program.output_term(input_terms)
+        solver = BVSolver()
+        solver.add(T.bv_ne(spec_term, program_term))
+        result = solver.check(conflict_budget=self.config.conflict_budget)
+        if result.satisfiable is None:
+            raise SynthesisError("verification query exceeded its conflict budget")
+        if not result.satisfiable:
+            return None
+        return [result.value_of(term) for term in input_terms]
+
+    # ---------------------------------------------------------------- helpers
+
+    def _seed_examples(self, spec: SynthesisSpec) -> list[list[int]]:
+        """Initial counterexamples: fixed corner values, no SMT query needed."""
+        corner_values = [0, 1]
+        seeds: list[list[int]] = []
+        for combo in itertools.islice(
+            itertools.product(corner_values, repeat=spec.arity),
+            self.config.initial_examples,
+        ):
+            seeds.append(
+                [value & mask(inp.width) for value, inp in zip(combo, spec.inputs)]
+            )
+        return seeds

@@ -1,0 +1,137 @@
+"""HPF-CEGIS: CEGIS based on the highest-priority-first policy (Algorithm 1).
+
+This is the paper's synthesis contribution.  Every component ``j`` carries a
+*choice weight* ``c_j`` and an *exclusion weight* ``e_j`` in a global
+priority dictionary that persists across original instructions.  Before each
+CEGIS attempt the remaining multisets are ranked by
+
+    priority(S) = ( Σ_j (c_j − α·χ_j) ) / ( Σ_j e_j )
+
+where χ_j is 1 when component ``j`` has the same name as the original
+instruction ``g`` (penalising overlap between the data paths of the original
+instruction and its equivalent program) and α is the influencing factor.
+The highest-priority multiset is tried first; on success the choice weights
+of its components are increased, on failure their exclusion weights are
+increased.  Synthesis for an instruction stops once ``k`` programs with at
+least ``min_components`` components have been found or the multisets are
+exhausted.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Iterable, Optional, Sequence
+
+from repro.synth.cegis import CegisConfig, CegisEngine
+from repro.synth.components import Component, ComponentLibrary
+from repro.synth.search import SynthesisRun, enumerate_multisets
+from repro.synth.spec import SynthesisSpec
+
+
+@dataclass
+class PriorityDict:
+    """Global choice / exclusion weights of every component (Algorithm 1, line 2)."""
+
+    choice: dict[str, float]
+    exclusion: dict[str, float]
+    alpha: float = 1.0
+    increment: float = 1.0
+
+    @classmethod
+    def initial(
+        cls,
+        library: ComponentLibrary | Sequence[Component],
+        alpha: float = 1.0,
+        increment: float = 1.0,
+        initial_weight: float = 1.0,
+    ) -> "PriorityDict":
+        names = [component.name for component in library]
+        return cls(
+            choice={name: initial_weight for name in names},
+            exclusion={name: initial_weight for name in names},
+            alpha=alpha,
+            increment=increment,
+        )
+
+    def priority(self, multiset: Sequence[Component], original_name: str) -> float:
+        """Priority of a multiset for original instruction ``original_name``."""
+        numerator = 0.0
+        denominator = 0.0
+        for component in multiset:
+            chi = 1.0 if component.base_instruction == original_name else 0.0
+            numerator += self.choice[component.name] - self.alpha * chi
+            denominator += self.exclusion[component.name]
+        return numerator / denominator if denominator else float("-inf")
+
+    def reward(self, multiset: Sequence[Component]) -> None:
+        """Increase the choice weights after a successful synthesis (line 16)."""
+        for component in multiset:
+            self.choice[component.name] += self.increment
+
+    def penalise(self, multiset: Sequence[Component]) -> None:
+        """Increase the exclusion weights after a failed synthesis (line 13)."""
+        for component in multiset:
+            self.exclusion[component.name] += self.increment
+
+
+class HpfCegis:
+    """Highest-priority-first CEGIS (the paper's Algorithm 1)."""
+
+    name = "hpf"
+
+    def __init__(
+        self,
+        library: ComponentLibrary,
+        multiset_size: int = 3,
+        target_programs: int = 3,
+        min_components: int = 1,
+        cegis_config: CegisConfig | None = None,
+        alpha: float = 1.0,
+        increment: float = 1.0,
+        max_multisets: Optional[int] = None,
+        priority_dict: PriorityDict | None = None,
+    ):
+        self.library = library
+        self.multiset_size = multiset_size
+        self.target_programs = target_programs
+        self.min_components = min_components
+        self.engine = CegisEngine(cegis_config)
+        self.max_multisets = max_multisets
+        self.priorities = priority_dict or PriorityDict.initial(
+            library, alpha=alpha, increment=increment
+        )
+
+    def synthesize_for(self, spec: SynthesisSpec) -> SynthesisRun:
+        """Synthesize equivalent programs for one original instruction ``g``."""
+        run = SynthesisRun(spec_name=spec.name)
+        multisets = enumerate_multisets(self.library, self.multiset_size)
+        run.multisets_total = len(multisets)
+        start = time.perf_counter()
+        found = 0
+        budget = self.max_multisets if self.max_multisets is not None else len(multisets)
+        remaining = list(multisets)
+        while remaining and run.multisets_tried < budget and found < self.target_programs:
+            # Line 9-10: sort by priority (descending) and take the best one.
+            remaining.sort(
+                key=lambda multiset: self.priorities.priority(multiset, spec.name),
+                reverse=True,
+            )
+            multiset = remaining.pop(0)
+            run.multisets_tried += 1
+            run.cegis_calls += 1
+            outcome = self.engine.synthesize(spec, multiset)
+            if outcome.program is None:
+                self.priorities.penalise(multiset)
+            else:
+                self.priorities.reward(multiset)
+                run.programs.append(outcome.program)
+                if len(outcome.program.slots) >= self.min_components:
+                    found += 1
+        run.exhausted = not remaining
+        run.elapsed_seconds = time.perf_counter() - start
+        return run
+
+    def synthesize_all(self, specs: Iterable[SynthesisSpec]) -> dict[str, SynthesisRun]:
+        """Run HPF-CEGIS over several original instructions, sharing weights."""
+        return {spec.name: self.synthesize_for(spec) for spec in specs}

@@ -1,0 +1,303 @@
+"""Synthesized program representation and expansion to instruction sequences.
+
+A synthesized program is an ordered list of *slots*, one per component of
+the multiset, wired together by the CEGIS location assignment.  Slots read
+either program inputs or the outputs of earlier slots; the output of the
+last slot is the program output.
+
+Programs can be rendered three ways:
+
+* symbolically (``output_term``) — used by the verification phase of CEGIS
+  and by unit tests,
+* concretely (``evaluate``) — quick integer evaluation,
+* as an instruction sequence (``expand`` / ``to_concrete_instructions``) —
+  what the EDSEP-V transformation dispatches into the DUV.  ``expand``
+  produces *templates* whose operands are symbolic placeholders (program
+  register input, program immediate input, virtual temporary, zero), which
+  the QED module later maps onto the E/T register sets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.errors import SynthesisError
+from repro.isa.config import IsaConfig
+from repro.isa.instructions import Instruction, get_instruction
+from repro.smt import terms as T
+from repro.smt.terms import BV
+from repro.synth.components import Component, OperandSource
+from repro.synth.spec import SynthesisSpec
+from repro.utils.bitops import mask
+
+# Wiring sources for slot inputs.
+SOURCE_INPUT = "input"  # a program input (register or immediate)
+SOURCE_SLOT = "slot"  # the output of an earlier slot
+
+
+@dataclass(frozen=True)
+class ProgramSlot:
+    """One component instance inside a synthesized program."""
+
+    component: Component
+    input_sources: tuple[tuple[str, int], ...]
+    attributes: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.input_sources) != self.component.arity:
+            raise SynthesisError(
+                f"slot for {self.component.name}: expected "
+                f"{self.component.arity} input sources, got {len(self.input_sources)}"
+            )
+        if len(self.attributes) != self.component.num_attributes:
+            raise SynthesisError(
+                f"slot for {self.component.name}: expected "
+                f"{self.component.num_attributes} attributes, got {len(self.attributes)}"
+            )
+
+
+@dataclass(frozen=True)
+class TemplateOperand:
+    """A placeholder operand of an expanded instruction template.
+
+    ``kind`` is one of ``"prog_reg"`` (the i-th register input of the
+    program), ``"prog_imm"`` (the program's immediate input), ``"virtual"``
+    (the i-th temporary value produced by the expansion), ``"zero"`` or
+    ``"const"`` (a literal immediate value in ``index``).
+    """
+
+    kind: str
+    index: int = 0
+
+
+@dataclass(frozen=True)
+class TemplateInstruction:
+    """One instruction of the expanded program with placeholder operands."""
+
+    mnemonic: str
+    rd: TemplateOperand
+    rs1: Optional[TemplateOperand] = None
+    rs2: Optional[TemplateOperand] = None
+    imm: Optional[TemplateOperand] = None
+
+
+class SynthesizedProgram:
+    """A program produced by CEGIS, semantically equivalent to its spec."""
+
+    def __init__(self, spec: SynthesisSpec, slots: Sequence[ProgramSlot]):
+        if not slots:
+            raise SynthesisError("a synthesized program needs at least one slot")
+        self.spec = spec
+        self.slots = list(slots)
+        for index, slot in enumerate(self.slots):
+            for kind, ref in slot.input_sources:
+                if kind == SOURCE_INPUT:
+                    if not (0 <= ref < spec.arity):
+                        raise SynthesisError(
+                            f"slot {index}: program input {ref} out of range"
+                        )
+                elif kind == SOURCE_SLOT:
+                    if not (0 <= ref < index):
+                        raise SynthesisError(
+                            f"slot {index}: reference to slot {ref} breaks the "
+                            "topological order"
+                        )
+                else:
+                    raise SynthesisError(f"unknown wiring source kind {kind!r}")
+
+    # ------------------------------------------------------------- semantics
+
+    @property
+    def config(self) -> IsaConfig:
+        return self.spec.config
+
+    def component_names(self) -> list[str]:
+        return [slot.component.name for slot in self.slots]
+
+    def output_term(self, input_terms: Sequence[BV]) -> BV:
+        """Symbolic output of the program over the given spec input terms."""
+        if len(input_terms) != self.spec.arity:
+            raise SynthesisError(
+                f"expected {self.spec.arity} input terms, got {len(input_terms)}"
+            )
+        cfg = self.config
+        slot_outputs: list[BV] = []
+        for slot in self.slots:
+            operand_terms: list[BV] = []
+            for (kind, ref), width in zip(slot.input_sources, slot.component.input_widths):
+                term = input_terms[ref] if kind == SOURCE_INPUT else slot_outputs[ref]
+                if term.width != width:
+                    raise SynthesisError(
+                        f"slot for {slot.component.name}: operand width {term.width} "
+                        f"does not match component input width {width}"
+                    )
+                operand_terms.append(term)
+            attr_terms = [
+                T.bv_const(value, width)
+                for value, width in zip(slot.attributes, slot.component.attribute_widths)
+            ]
+            slot_outputs.append(slot.component.output_term(cfg, operand_terms, attr_terms))
+        return slot_outputs[-1]
+
+    def evaluate(self, input_values: Sequence[int]) -> int:
+        """Concrete output of the program for integer inputs."""
+        terms = [
+            T.bv_const(value & mask(inp.width), inp.width)
+            for value, inp in zip(input_values, self.spec.inputs)
+        ]
+        result = self.output_term(terms)
+        if not result.is_const:
+            raise SynthesisError("program did not fold to a constant (free symbol?)")
+        return result.const_value()
+
+    # ------------------------------------------------------------- expansion
+
+    def expand(self) -> list[TemplateInstruction]:
+        """Expand the program into an instruction-template sequence.
+
+        Virtual temporaries are numbered in program order across all slots;
+        the destination of the final template holds the program output.
+        """
+        templates: list[TemplateInstruction] = []
+        slot_output_virtual: list[int] = []
+        next_virtual = 0
+
+        for slot in self.slots:
+            step_virtuals: list[int] = []
+            for step in slot.component.expansion:
+                rd = TemplateOperand("virtual", next_virtual)
+
+                def resolve(source: Optional[OperandSource], is_imm: bool) -> Optional[TemplateOperand]:
+                    if source is None:
+                        return None
+                    if source.kind == "input":
+                        kind, ref = slot.input_sources[source.index]
+                        if kind == SOURCE_INPUT:
+                            spec_input = self.spec.inputs[ref]
+                            if spec_input.is_immediate:
+                                return TemplateOperand("prog_imm", ref)
+                            return TemplateOperand("prog_reg", ref)
+                        return TemplateOperand("virtual", slot_output_virtual[ref])
+                    if source.kind == "temp":
+                        return TemplateOperand("virtual", step_virtuals[source.index])
+                    if source.kind == "attr":
+                        return TemplateOperand("const", slot.attributes[source.index])
+                    if source.kind == "const":
+                        return TemplateOperand("const", source.index)
+                    if source.kind == "zero":
+                        return TemplateOperand("zero")
+                    raise SynthesisError(f"unknown operand source {source.kind!r}")
+
+                templates.append(
+                    TemplateInstruction(
+                        mnemonic=step.mnemonic,
+                        rd=rd,
+                        rs1=resolve(step.rs1, False),
+                        rs2=resolve(step.rs2, False),
+                        imm=resolve(step.imm, True),
+                    )
+                )
+                step_virtuals.append(next_virtual)
+                next_virtual += 1
+            slot_output_virtual.append(step_virtuals[-1])
+        return templates
+
+    @property
+    def num_instructions(self) -> int:
+        """Length of the expanded instruction sequence."""
+        return sum(len(slot.component.expansion) for slot in self.slots)
+
+    def to_concrete_instructions(
+        self,
+        input_regs: Sequence[int],
+        dest_reg: int,
+        temp_regs: Sequence[int],
+        imm_value: int = 0,
+    ) -> list[Instruction]:
+        """Instantiate the expansion with physical registers and a concrete immediate.
+
+        ``input_regs`` supplies a physical register for every *register*
+        input of the spec (immediate inputs take ``imm_value``), ``dest_reg``
+        receives the program output and ``temp_regs`` back the virtual
+        temporaries.
+        """
+        reg_inputs = [i for i, inp in enumerate(self.spec.inputs) if not inp.is_immediate]
+        if len(input_regs) != len(reg_inputs):
+            raise SynthesisError(
+                f"expected {len(reg_inputs)} input registers, got {len(input_regs)}"
+            )
+        reg_of_input = {spec_idx: reg for spec_idx, reg in zip(reg_inputs, input_regs)}
+
+        templates = self.expand()
+        num_virtuals = len(templates)
+        if num_virtuals - 1 > len(temp_regs):
+            raise SynthesisError(
+                f"need {num_virtuals - 1} temporary registers, got {len(temp_regs)}"
+            )
+        virtual_to_reg = {i: temp_regs[i] for i in range(num_virtuals - 1)}
+        virtual_to_reg[num_virtuals - 1] = dest_reg
+
+        def reg_operand(op: Optional[TemplateOperand]) -> Optional[int]:
+            if op is None:
+                return None
+            if op.kind == "prog_reg":
+                return reg_of_input[op.index]
+            if op.kind == "virtual":
+                return virtual_to_reg[op.index]
+            if op.kind == "zero":
+                return 0
+            raise SynthesisError(f"operand kind {op.kind!r} is not a register")
+
+        def imm_operand(op: Optional[TemplateOperand]) -> Optional[int]:
+            if op is None:
+                return None
+            if op.kind == "const":
+                return op.index & mask(self.config.imm_width)
+            if op.kind == "prog_imm":
+                return imm_value & mask(self.config.imm_width)
+            raise SynthesisError(f"operand kind {op.kind!r} is not an immediate")
+
+        instructions = []
+        for template in templates:
+            defn = get_instruction(template.mnemonic)
+            instructions.append(
+                Instruction(
+                    template.mnemonic,
+                    rd=reg_operand(template.rd) if defn.writes_rd else None,
+                    rs1=reg_operand(template.rs1),
+                    rs2=reg_operand(template.rs2),
+                    imm=imm_operand(template.imm),
+                )
+            )
+        return instructions
+
+    # ----------------------------------------------------------------- misc
+
+    def describe(self) -> str:
+        """Human-readable listing in the spirit of the paper's Listing 1."""
+        lines = [f"# equivalent program for {self.spec.name}"]
+        for index, template in enumerate(self.expand()):
+            operands = []
+            for op, prefix in ((template.rd, "v"), (template.rs1, ""), (template.rs2, "")):
+                if op is None:
+                    continue
+                if op.kind == "virtual":
+                    operands.append(f"v{op.index}")
+                elif op.kind == "prog_reg":
+                    operands.append(self.spec.inputs[op.index].name)
+                elif op.kind == "zero":
+                    operands.append("x0")
+            if template.imm is not None:
+                if template.imm.kind == "const":
+                    operands.append(hex(template.imm.index))
+                else:
+                    operands.append("imm")
+            lines.append(f"  {template.mnemonic} " + ", ".join(operands))
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (
+            f"SynthesizedProgram({self.spec.name} ~ "
+            f"{' ; '.join(self.component_names())})"
+        )

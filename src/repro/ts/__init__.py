@@ -1,0 +1,11 @@
+"""Symbolic transition systems (the BTOR2-level view of a design).
+
+A :class:`TransitionSystem` is the word-level equivalent of what Yosys emits
+for Pono in the paper's flow: state variables with init/next functions,
+free inputs, global constraints (assumptions) and safety properties.
+"""
+
+from repro.ts.system import StateVar, TransitionSystem
+from repro.ts.unroll import Unroller
+
+__all__ = ["StateVar", "TransitionSystem", "Unroller"]

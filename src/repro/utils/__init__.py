@@ -1,0 +1,40 @@
+"""General-purpose utilities shared by every subsystem.
+
+The helpers here are deliberately tiny and dependency-free: bit-level
+arithmetic on arbitrary-width two's-complement integers, and a plain-text
+table printer used by the experiment harnesses.
+"""
+
+from repro.utils.bitops import (
+    mask,
+    truncate,
+    sext,
+    zext,
+    to_signed,
+    to_unsigned,
+    bit,
+    bits_of,
+    from_bits,
+    popcount,
+    clog2,
+    rotate_left,
+    rotate_right,
+)
+from repro.utils.tables import TextTable
+
+__all__ = [
+    "mask",
+    "truncate",
+    "sext",
+    "zext",
+    "to_signed",
+    "to_unsigned",
+    "bit",
+    "bits_of",
+    "from_bits",
+    "popcount",
+    "clog2",
+    "rotate_left",
+    "rotate_right",
+    "TextTable",
+]

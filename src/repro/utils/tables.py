@@ -1,0 +1,45 @@
+"""A minimal plain-text table printer used by the experiment harnesses.
+
+We render the same rows the paper's tables and figures report, so the
+formatting stays deliberately simple: fixed-width columns with an ASCII
+ruler, no external dependencies.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+class TextTable:
+    """Accumulate rows and render them as an aligned ASCII table."""
+
+    def __init__(self, headers: Sequence[str]):
+        self.headers = [str(h) for h in headers]
+        self.rows: list[list[str]] = []
+
+    def add_row(self, row: Iterable[object]) -> None:
+        """Append a row; cells are converted with ``str``."""
+        cells = [str(c) for c in row]
+        if len(cells) != len(self.headers):
+            raise ValueError(
+                f"row has {len(cells)} cells, expected {len(self.headers)}"
+            )
+        self.rows.append(cells)
+
+    def render(self) -> str:
+        """Return the table as a multi-line string."""
+        widths = [len(h) for h in self.headers]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+
+        def fmt(cells: Sequence[str]) -> str:
+            return " | ".join(c.ljust(w) for c, w in zip(cells, widths))
+
+        ruler = "-+-".join("-" * w for w in widths)
+        lines = [fmt(self.headers), ruler]
+        lines.extend(fmt(row) for row in self.rows)
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()

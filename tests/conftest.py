@@ -1,0 +1,36 @@
+"""Shared pytest fixtures for the SEPE-SQED reproduction test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.isa.config import IsaConfig
+from repro.proc.config import ProcessorConfig
+from repro.synth.components import build_default_library
+
+
+@pytest.fixture(scope="session")
+def small_isa() -> IsaConfig:
+    """The scaled-down datapath used throughout the tests (8-bit, 8 regs)."""
+    return IsaConfig.small()
+
+
+@pytest.fixture(scope="session")
+def rv32_isa() -> IsaConfig:
+    """The paper-faithful 32-bit configuration."""
+    return IsaConfig.rv32()
+
+
+@pytest.fixture(scope="session")
+def small_library(small_isa):
+    """The 29-component synthesis library over the small datapath."""
+    return build_default_library(small_isa)
+
+
+@pytest.fixture(scope="session")
+def tiny_processor_config(small_isa) -> ProcessorConfig:
+    """A processor with a compact instruction pool for fast BMC tests."""
+    return ProcessorConfig(
+        isa=small_isa,
+        supported_ops=("ADD", "SUB", "XOR", "OR", "AND", "XORI", "ADDI"),
+    )

@@ -1,0 +1,228 @@
+"""Tests for the RV32IM subset: semantics, encoding, assembler, executor."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import AssemblerError, IsaError
+from repro.isa.assembler import assemble, assemble_line, format_instruction
+from repro.isa.config import IsaConfig
+from repro.isa.encoding import decode_instruction, encode_instruction
+from repro.isa.executor import ArchState, execute_instruction, execute_program
+from repro.isa.instructions import (
+    CANONICAL_ORDER,
+    Instruction,
+    get_instruction,
+    instruction_names,
+    result_value,
+    symbolic_result,
+)
+from repro.smt import terms as T
+from repro.smt.evaluator import evaluate
+from repro.utils.bitops import mask, to_signed
+
+
+class TestConfig:
+    def test_defaults(self):
+        cfg = IsaConfig.rv32()
+        assert cfg.xlen == 32 and cfg.num_regs == 32 and cfg.imm_width == 12
+        assert cfg.shamt_width == 5 and cfg.reg_index_width == 5
+        assert cfg.lui_shift == 12
+
+    def test_small(self):
+        cfg = IsaConfig.small()
+        assert cfg.xlen == 8 and cfg.num_regs == 8
+        assert cfg.imm_width == 8 and cfg.lui_shift == 0
+
+    @pytest.mark.parametrize(
+        "kwargs", [dict(xlen=2), dict(num_regs=6), dict(imm_width=0), dict(mem_words=3)]
+    )
+    def test_invalid_configs_rejected(self, kwargs):
+        with pytest.raises(IsaError):
+            IsaConfig(**{**dict(xlen=8, num_regs=8, imm_width=8, mem_words=4), **kwargs})
+
+
+class TestCatalog:
+    def test_26_instructions(self):
+        assert len(instruction_names()) == 26
+        assert set(CANONICAL_ORDER) == set(instruction_names())
+
+    def test_unknown_instruction(self):
+        with pytest.raises(IsaError):
+            get_instruction("BEQ")
+
+    def test_lookup_case_insensitive(self):
+        assert get_instruction("add").name == "ADD"
+
+    @pytest.mark.parametrize("name", ["ADD", "SUB", "MULH", "SW", "LW", "LUI", "XORI"])
+    def test_operand_flags(self, name):
+        defn = get_instruction(name)
+        if name == "SW":
+            assert defn.is_store and not defn.writes_rd
+        if name == "LW":
+            assert defn.is_load and defn.writes_rd
+        if name == "LUI":
+            assert not defn.uses_rs1 and defn.uses_imm
+
+
+class TestConcreteSemantics:
+    cfg = IsaConfig.small()
+
+    def test_add_sub(self):
+        assert result_value(self.cfg, Instruction("ADD", 1, 2, 3), 200, 100) == (300 & 0xFF)
+        assert result_value(self.cfg, Instruction("SUB", 1, 2, 3), 5, 9) == (5 - 9) & 0xFF
+
+    def test_signed_compares(self):
+        assert result_value(self.cfg, Instruction("SLT", 1, 2, 3), 0xFF, 0x01) == 1
+        assert result_value(self.cfg, Instruction("SLTU", 1, 2, 3), 0xFF, 0x01) == 0
+
+    def test_shifts(self):
+        assert result_value(self.cfg, Instruction("SLL", 1, 2, 3), 0x0F, 2) == 0x3C
+        assert result_value(self.cfg, Instruction("SRA", 1, 2, 3), 0x80, 7) == 0xFF
+        assert result_value(self.cfg, Instruction("SRL", 1, 2, 3), 0x80, 7) == 0x01
+
+    def test_multiplies(self):
+        assert result_value(self.cfg, Instruction("MUL", 1, 2, 3), 0x10, 0x10) == 0x00
+        assert result_value(self.cfg, Instruction("MULH", 1, 2, 3), 0xFF, 0xFF) == 0x00
+        assert result_value(self.cfg, Instruction("MULHU", 1, 2, 3), 0xFF, 0xFF) == 0xFE
+
+    def test_lui_and_addresses(self):
+        assert result_value(self.cfg, Instruction("LUI", 1, imm=0x12), 0, 0) == 0x12
+        assert result_value(self.cfg, Instruction("SW", rs1=2, rs2=3, imm=3), 10, 77) == 13
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.sampled_from(CANONICAL_ORDER),
+        st.integers(min_value=0, max_value=255),
+        st.integers(min_value=0, max_value=255),
+        st.integers(min_value=0, max_value=255),
+    )
+    def test_concrete_matches_symbolic(self, name, a, b, imm):
+        """Concrete and symbolic semantics agree on every instruction."""
+        cfg = self.cfg
+        rs1 = T.bv_var("isa_cc_a", cfg.xlen)
+        rs2 = T.bv_var("isa_cc_b", cfg.xlen)
+        imm_t = T.bv_var("isa_cc_i", cfg.imm_width)
+        concrete = result_value(cfg, Instruction(name, rd=1, rs1=2, rs2=3, imm=imm), a, b)
+        symbolic = evaluate(
+            symbolic_result(cfg, name, rs1, rs2, imm_t),
+            {"isa_cc_a": a, "isa_cc_b": b, "isa_cc_i": imm},
+        )
+        assert concrete == symbolic
+
+    def test_rv32_sra_sign(self):
+        cfg = IsaConfig.rv32()
+        value = 0x8000_0000
+        assert result_value(cfg, Instruction("SRA", 1, 2, 3), value, 31) == mask(32)
+        assert to_signed(result_value(cfg, Instruction("SRAI", 1, 2, imm=4), value, 0), 32) == -(1 << 27)
+
+
+class TestEncoding:
+    @pytest.mark.parametrize("name", CANONICAL_ORDER)
+    def test_roundtrip_every_instruction(self, name):
+        defn = get_instruction(name)
+        instr = Instruction(
+            name,
+            rd=1 if (defn.writes_rd or defn.is_load) else None,
+            rs1=2 if defn.uses_rs1 else None,
+            rs2=3 if defn.uses_rs2 else None,
+            imm=5 if defn.uses_imm else None,
+        )
+        decoded = decode_instruction(encode_instruction(instr))
+        assert decoded.name == name
+        if defn.uses_rs1:
+            assert decoded.rs1 == 2
+        if defn.uses_rs2:
+            assert decoded.rs2 == 3
+
+    def test_known_encoding_add(self):
+        # ADD x1, x2, x3 == 0x003100b3 in RV32I
+        assert encode_instruction(Instruction("ADD", 1, 2, 3)) == 0x003100B3
+
+    def test_known_encoding_xori(self):
+        # XORI x1, x2, -1 (0xfff) == 0xfff14093
+        assert encode_instruction(Instruction("XORI", 1, 2, imm=0xFFF)) == 0xFFF14093
+
+    def test_decode_unknown_word(self):
+        with pytest.raises(IsaError):
+            decode_instruction(0xFFFFFFFF)
+
+    def test_register_field_range_checked(self):
+        with pytest.raises(IsaError):
+            encode_instruction(Instruction("ADD", 32, 0, 0))
+
+
+class TestAssembler:
+    def test_roundtrip(self):
+        program = assemble(
+            """
+            # paper Listing 1
+            SUB x1, x2, x3
+            XORI x4, x2, 0xfff
+            ADD x5, x4, x3
+            XORI x1, x5, 0xfff
+            SW x2, 1(x3)
+            LW x6, 0(x3)
+            LUI x7, 0x12
+            """
+        )
+        assert len(program) == 7
+        for instr in program:
+            again = assemble_line(format_instruction(instr))
+            assert again == instr
+
+    def test_blank_and_comment_lines(self):
+        assert assemble("\n# nothing\n\n") == []
+
+    @pytest.mark.parametrize(
+        "text", ["ADD x1, x2", "FOO x1, x2, x3", "ADD y1, x2, x3", "SW x1, x2", "XORI x1, x2, zz"]
+    )
+    def test_malformed_rejected(self, text):
+        with pytest.raises((AssemblerError, IsaError)):
+            assemble_line(text)
+
+
+class TestExecutor:
+    def test_basic_dataflow(self, small_isa):
+        state = ArchState(small_isa)
+        state.write_reg(2, 10)
+        state.write_reg(3, 250)
+        execute_program(
+            state,
+            assemble("ADD x1, x2, x3\nSUB x4, x2, x3\nSW x2, 1(x3)\nLW x5, 1(x3)"),
+        )
+        assert state.read_reg(1) == (10 + 250) % 256
+        assert state.read_reg(4) == (10 - 250) % 256
+        assert state.read_reg(5) == 10
+        assert state.executed == 4
+
+    def test_x0_is_hardwired_zero(self, small_isa):
+        state = ArchState(small_isa)
+        state.write_reg(0, 99)
+        assert state.read_reg(0) == 0
+        execute_instruction(state, Instruction("ADDI", rd=0, rs1=0, imm=5))
+        assert state.read_reg(0) == 0
+
+    def test_memory_wraps_modulo(self, small_isa):
+        state = ArchState(small_isa)
+        state.write_mem(small_isa.mem_words + 1, 7)
+        assert state.read_mem(1) == 7
+
+    def test_register_index_checked(self, small_isa):
+        state = ArchState(small_isa)
+        with pytest.raises(IsaError):
+            state.read_reg(small_isa.num_regs)
+
+    def test_equivalent_program_listing1(self, small_isa):
+        """The paper's Listing 1: SUB == XORI; ADD; XORI on real state."""
+        state = ArchState(small_isa)
+        state.write_reg(2, 0x37)
+        state.write_reg(3, 0x59)
+        direct = state.copy()
+        execute_instruction(direct, Instruction("SUB", rd=1, rs1=2, rs2=3))
+        execute_program(
+            state,
+            assemble("XORI x4, x2, 0xff\nADD x5, x4, x3\nXORI x1, x5, 0xff"),
+        )
+        assert state.read_reg(1) == direct.read_reg(1)

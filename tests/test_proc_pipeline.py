@@ -1,0 +1,186 @@
+"""Tests for the pipelined processor model.
+
+The main check is lock-step agreement with the architectural ISS: a program
+dispatched into the symbolic pipeline (evaluated concretely via the BMC
+unroller) must leave the register file and memory in exactly the state the
+instruction-set simulator predicts.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ProcessorError
+from repro.isa.assembler import assemble
+from repro.isa.config import IsaConfig
+from repro.isa.executor import ArchState, execute_program
+from repro.proc.bugs import (
+    BugKind,
+    bug_catalog,
+    get_bug,
+    multiple_instruction_bugs,
+    single_instruction_bugs,
+)
+from repro.proc.config import ProcessorConfig
+from repro.proc.pipeline import InstructionSignals, PipelineProcessor
+from repro.smt import terms as T
+from repro.smt.evaluator import evaluate
+from repro.ts.system import TransitionSystem
+from repro.ts.unroll import Unroller
+
+_COUNTER = [0]
+
+
+def _build_pipeline(config: ProcessorConfig, bug=None):
+    """Build a pipeline fed by plain symbolic inputs (no QED module)."""
+    _COUNTER[0] += 1
+    prefix = f"plt{_COUNTER[0]}"
+    ts = TransitionSystem(name=prefix)
+    isa = config.isa
+    instr = InstructionSignals(
+        valid=ts.add_input(f"{prefix}_valid", 1),
+        op=ts.add_input(f"{prefix}_op", config.op_width),
+        rd=ts.add_input(f"{prefix}_rd", isa.reg_index_width),
+        rs1=ts.add_input(f"{prefix}_rs1", isa.reg_index_width),
+        rs2=ts.add_input(f"{prefix}_rs2", isa.reg_index_width),
+        imm=ts.add_input(f"{prefix}_imm", isa.imm_width),
+    )
+    processor = PipelineProcessor(config, bug=bug, name_prefix=f"{prefix}_duv")
+    handles = processor.build(ts, instr)
+    ts.add_property("true", T.bv_true())
+    return ts, prefix, handles
+
+
+def _run_program(config: ProcessorConfig, program, bug=None, drain: int = 3):
+    """Concretely clock ``program`` through the pipeline; return final arch state."""
+    ts, prefix, handles = _build_pipeline(config, bug)
+    unroller = Unroller(ts)
+    assignment = {}
+    total = len(program) + drain
+    for frame, instr in enumerate(program + [None] * drain):
+        assignment[unroller.input_term(f"{prefix}_valid", frame).name] = 1 if instr else 0
+        if instr is not None:
+            assignment[unroller.input_term(f"{prefix}_op", frame).name] = config.op_index(instr.name)
+            assignment[unroller.input_term(f"{prefix}_rd", frame).name] = instr.rd or 0
+            assignment[unroller.input_term(f"{prefix}_rs1", frame).name] = instr.rs1 or 0
+            assignment[unroller.input_term(f"{prefix}_rs2", frame).name] = instr.rs2 or 0
+            assignment[unroller.input_term(f"{prefix}_imm", frame).name] = instr.imm or 0
+        else:
+            for field in ("op", "rd", "rs1", "rs2", "imm"):
+                assignment[unroller.input_term(f"{prefix}_{field}", frame).name] = 0
+
+    def read(name: str) -> int:
+        term = unroller.state_term(name, total)
+        return evaluate(term, assignment)
+
+    isa = config.isa
+    regs = [0] + [read(f"{prefix}_duv_reg{i}") for i in range(1, isa.num_regs)]
+    mem = [read(f"{prefix}_duv_mem{w}") for w in range(isa.mem_words)]
+    return regs, mem
+
+
+@pytest.fixture(scope="module")
+def config():
+    return ProcessorConfig(
+        isa=IsaConfig.small(),
+        supported_ops=("ADD", "SUB", "XOR", "OR", "AND", "ADDI", "XORI", "SW", "LW", "MUL"),
+    )
+
+
+PROGRAMS = [
+    "ADDI x1, x0, 7\nADDI x2, x0, 9\nADD x3, x1, x2",
+    # back-to-back RAW dependency exercises the EX forwarding path
+    "ADDI x1, x0, 5\nADD x2, x1, x1\nADD x3, x2, x2\nSUB x4, x3, x1",
+    # distance-2 dependency exercises the WB forwarding path
+    "ADDI x1, x0, 3\nXOR x5, x0, x0\nADD x2, x1, x1",
+    # stores and loads, including store-to-load through memory
+    "ADDI x1, x0, 42\nSW x1, 1(x0)\nLW x2, 1(x0)\nADD x3, x2, x1",
+    # multiplication and logic mix
+    "ADDI x1, x0, 13\nADDI x2, x0, 11\nMUL x3, x1, x2\nAND x4, x3, x1\nOR x5, x4, x2",
+    # writes to x0 must be discarded
+    "ADDI x0, x0, 9\nADD x1, x0, x0",
+]
+
+
+class TestPipelineAgainstIss:
+    @pytest.mark.parametrize("text", PROGRAMS)
+    def test_lockstep_with_iss(self, config, text):
+        program = assemble(text)
+        regs, mem = _run_program(config, program)
+        reference = ArchState(config.isa)
+        execute_program(reference, program)
+        assert regs == reference.regs
+        assert mem == reference.mem
+
+    def test_bubbles_do_not_change_state(self, config):
+        regs, mem = _run_program(config, [], drain=4)
+        assert regs == [0] * config.isa.num_regs
+        assert mem == [0] * config.isa.mem_words
+
+    def test_forwarding_disabled_gives_stale_values(self):
+        config = ProcessorConfig(
+            isa=IsaConfig.small(),
+            supported_ops=("ADD", "ADDI"),
+            forwarding=False,
+        )
+        program = assemble("ADDI x1, x0, 5\nADD x2, x1, x1")
+        regs, _ = _run_program(config, program)
+        # Without forwarding the dependent ADD reads the stale (zero) x1.
+        assert regs[2] == 0
+
+    def test_signal_width_checked(self, config):
+        ts = TransitionSystem(name="plt_badwidth")
+        instr = InstructionSignals(
+            valid=ts.add_input("pltb_valid", 1),
+            op=ts.add_input("pltb_op", 7),
+            rd=ts.add_input("pltb_rd", config.isa.reg_index_width),
+            rs1=ts.add_input("pltb_rs1", config.isa.reg_index_width),
+            rs2=ts.add_input("pltb_rs2", config.isa.reg_index_width),
+            imm=ts.add_input("pltb_imm", config.isa.imm_width),
+        )
+        with pytest.raises(ProcessorError):
+            PipelineProcessor(config, name_prefix="pltb_duv").build(ts, instr)
+
+
+class TestBugCatalog:
+    def test_table1_bug_count(self):
+        assert len(single_instruction_bugs()) == 13
+
+    def test_figure4_bug_count(self):
+        assert len(multiple_instruction_bugs()) == 12
+
+    def test_catalog_lookup(self):
+        assert get_bug("single_add_off_by_one").kind is BugKind.SINGLE_INSTRUCTION
+        assert get_bug("multi_no_forward_ex_rs1").kind is BugKind.MULTIPLE_INSTRUCTION
+        with pytest.raises(ProcessorError):
+            get_bug("nonexistent")
+
+    def test_every_bug_has_description_and_targets(self):
+        for bug in bug_catalog().values():
+            assert bug.description
+            assert bug.target_ops
+
+    def test_single_bug_changes_target_result(self, config):
+        """The injected ADD bug corrupts ADD but leaves SUB untouched."""
+        bug = get_bug("single_add_off_by_one")
+        program = assemble("ADDI x1, x0, 7\nADDI x2, x0, 9\nADD x3, x1, x2\nSUB x4, x1, x2")
+        regs, _ = _run_program(config, program, bug=bug)
+        reference = ArchState(config.isa)
+        execute_program(reference, program)
+        assert regs[3] == (reference.regs[3] + 1) & 0xFF  # corrupted
+        assert regs[4] == reference.regs[4]  # unaffected
+
+    def test_multi_bug_needs_dependent_sequence(self, config):
+        """The missing-forwarding bug only fires on back-to-back dependencies."""
+        bug = get_bug("multi_no_forward_ex_rs1")
+        independent = assemble("ADDI x1, x0, 5\nXOR x3, x0, x0\nADD x2, x1, x0")
+        regs, _ = _run_program(config, independent, bug=bug)
+        reference = ArchState(config.isa)
+        execute_program(reference, independent)
+        assert regs == reference.regs  # no adjacent dependency -> no corruption
+
+        dependent = assemble("ADDI x1, x0, 5\nADD x2, x1, x0")
+        regs_dep, _ = _run_program(config, dependent, bug=bug)
+        reference_dep = ArchState(config.isa)
+        execute_program(reference_dep, dependent)
+        assert regs_dep != reference_dep.regs

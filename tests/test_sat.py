@@ -1,0 +1,172 @@
+"""Tests for the CNF container and the CDCL SAT solver."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import SatError
+from repro.sat.cnf import CNF, parse_dimacs, to_dimacs
+from repro.sat.solver import SatSolver, solve_cnf
+
+
+class TestCnf:
+    def test_add_clause_tracks_variables(self):
+        cnf = CNF()
+        cnf.add_clause([1, -3])
+        assert cnf.num_vars == 3
+        assert len(cnf) == 1
+
+    def test_zero_literal_rejected(self):
+        cnf = CNF()
+        with pytest.raises(SatError):
+            cnf.add_clause([1, 0])
+
+    def test_new_var(self):
+        cnf = CNF()
+        assert cnf.new_var() == 1
+        assert cnf.new_var() == 2
+
+    def test_dimacs_roundtrip(self):
+        cnf = CNF([[1, 2], [-1, 3], [-2, -3]])
+        text = to_dimacs(cnf)
+        parsed = parse_dimacs(text)
+        assert parsed.num_vars == cnf.num_vars
+        assert list(parsed) == list(cnf)
+
+    def test_parse_dimacs_with_comments(self):
+        parsed = parse_dimacs("c a comment\np cnf 3 2\n1 2 0\n-3 0\n")
+        assert parsed.num_vars == 3
+        assert len(parsed) == 2
+
+    def test_parse_dimacs_unterminated_clause(self):
+        with pytest.raises(SatError):
+            parse_dimacs("1 2")
+
+    def test_copy_is_independent(self):
+        cnf = CNF([[1, 2]])
+        dup = cnf.copy()
+        dup.add_clause([3])
+        assert len(cnf) == 1
+        assert len(dup) == 2
+
+
+class TestSolverBasics:
+    def test_empty_formula_is_sat(self):
+        assert SatSolver().solve().satisfiable is True
+
+    def test_unit_clauses(self):
+        solver = SatSolver()
+        solver.add_clause([1])
+        solver.add_clause([-2])
+        result = solver.solve()
+        assert result.satisfiable
+        assert result.value(1) is True
+        assert result.value(2) is False
+
+    def test_trivial_unsat(self):
+        solver = SatSolver()
+        solver.add_clause([1])
+        solver.add_clause([-1])
+        assert solver.solve().satisfiable is False
+
+    def test_simple_implication_chain(self):
+        solver = SatSolver()
+        solver.add_clause([-1, 2])
+        solver.add_clause([-2, 3])
+        solver.add_clause([1])
+        result = solver.solve()
+        assert result.satisfiable
+        assert result.value(3) is True
+
+    def test_model_satisfies_all_clauses(self):
+        clauses = [[1, 2, 3], [-1, -2], [-2, -3], [-1, -3], [2, 3]]
+        result = solve_cnf(CNF(clauses))
+        assert result.satisfiable
+        for clause in clauses:
+            assert any(result.value(abs(l)) == (l > 0) for l in clause)
+
+    def test_pigeonhole_3_into_2_unsat(self):
+        # 3 pigeons, 2 holes: variable p_{i,h} = 1 + 2*i + h
+        clauses = []
+        for pigeon in range(3):
+            clauses.append([1 + 2 * pigeon, 2 + 2 * pigeon])
+        for hole in range(2):
+            for i in range(3):
+                for j in range(i + 1, 3):
+                    clauses.append([-(1 + 2 * i + hole), -(1 + 2 * j + hole)])
+        assert solve_cnf(CNF(clauses)).satisfiable is False
+
+    def test_assumptions_sat_and_unsat(self):
+        solver = SatSolver()
+        solver.add_clause([1, 2])
+        assert solver.solve(assumptions=[-1]).satisfiable is True
+        assert solver.solve(assumptions=[-1, -2]).satisfiable is False
+        # The solver is reusable after assumption-based calls.
+        assert solver.solve().satisfiable is True
+
+    def test_conflict_budget_returns_unknown(self):
+        # A hard pigeonhole instance with a tiny budget must return None.
+        holes, pigeons = 5, 6
+        clauses = []
+        def var(p, h):
+            return 1 + p * holes + h
+        for p in range(pigeons):
+            clauses.append([var(p, h) for h in range(holes)])
+        for h in range(holes):
+            for i in range(pigeons):
+                for j in range(i + 1, pigeons):
+                    clauses.append([-var(i, h), -var(j, h)])
+        result = SatSolver(CNF(clauses)).solve(conflict_budget=5)
+        assert result.satisfiable is None
+
+    def test_duplicate_literals_and_tautologies(self):
+        solver = SatSolver()
+        solver.add_clause([1, 1, 2])
+        solver.add_clause([3, -3])  # tautology, silently dropped
+        assert solver.solve().satisfiable is True
+
+
+def _random_cnf(rng: random.Random, num_vars: int, num_clauses: int) -> list[list[int]]:
+    clauses = []
+    for _ in range(num_clauses):
+        width = rng.randint(1, 3)
+        clause = []
+        for _ in range(width):
+            var = rng.randint(1, num_vars)
+            clause.append(var if rng.random() < 0.5 else -var)
+        clauses.append(clause)
+    return clauses
+
+
+def _brute_force_sat(clauses: list[list[int]], num_vars: int) -> bool:
+    for assignment in range(1 << num_vars):
+        values = {v: bool((assignment >> (v - 1)) & 1) for v in range(1, num_vars + 1)}
+        if all(any(values[abs(l)] == (l > 0) for l in clause) for clause in clauses):
+            return True
+    return False
+
+
+class TestSolverAgainstBruteForce:
+    @pytest.mark.parametrize("seed", range(12))
+    def test_random_small_instances(self, seed):
+        rng = random.Random(seed)
+        num_vars = rng.randint(3, 8)
+        clauses = _random_cnf(rng, num_vars, rng.randint(3, 25))
+        expected = _brute_force_sat(clauses, num_vars)
+        result = solve_cnf(CNF(clauses, num_vars=num_vars))
+        assert result.satisfiable is expected
+        if expected:
+            for clause in clauses:
+                assert any(result.value(abs(l)) == (l > 0) for l in clause)
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_random_instances_hypothesis(self, seed):
+        rng = random.Random(seed)
+        num_vars = rng.randint(2, 7)
+        clauses = _random_cnf(rng, num_vars, rng.randint(2, 20))
+        expected = _brute_force_sat(clauses, num_vars)
+        assert bool(solve_cnf(CNF(clauses, num_vars=num_vars))) is expected
