@@ -44,11 +44,16 @@ from repro.synth.cegis import CegisConfig, CegisEngine
 from repro.synth.hpf import HpfCegis
 from repro.synth.iterative import IterativeCegis
 from repro.synth.classical import ClassicalCegis
-from repro.qed.equivalents import default_equivalent_programs, verify_equivalence
+from repro.qed.equivalents import (
+    default_equivalent_programs,
+    verify_equivalence,
+    verify_equivalences,
+)
 from repro.qed.mapping import RegisterPartition, MemoryPartition
 from repro.core.flow import SqedFlow, SepeSqedFlow, pool_for_bug
 from repro.core.results import VerificationOutcome
-from repro.bmc.engine import BmcEngine
+from repro.bmc.engine import BmcEngine, BmcSession
+from repro.solve import SolverContext
 from repro.ts.system import TransitionSystem
 from repro.btor import write_btor2, parse_btor2
 
@@ -80,6 +85,7 @@ __all__ = [
     "ClassicalCegis",
     "default_equivalent_programs",
     "verify_equivalence",
+    "verify_equivalences",
     "RegisterPartition",
     "MemoryPartition",
     "SqedFlow",
@@ -87,6 +93,8 @@ __all__ = [
     "pool_for_bug",
     "VerificationOutcome",
     "BmcEngine",
+    "BmcSession",
+    "SolverContext",
     "TransitionSystem",
     "write_btor2",
     "parse_btor2",

@@ -8,7 +8,7 @@ on small designs.
 """
 
 from repro.bmc.trace import Trace, TraceStep
-from repro.bmc.engine import BmcEngine, BmcResult
+from repro.bmc.engine import BmcEngine, BmcResult, BmcSession, BmcStats
 from repro.bmc.kinduction import KInductionEngine, KInductionResult
 
 __all__ = [
@@ -16,6 +16,8 @@ __all__ = [
     "TraceStep",
     "BmcEngine",
     "BmcResult",
+    "BmcSession",
+    "BmcStats",
     "KInductionEngine",
     "KInductionResult",
 ]

@@ -5,23 +5,32 @@ whether the constraints of frames ``0..k`` are satisfiable together with the
 negation of the property at frame ``k``.  The first satisfiable query yields
 the shortest counterexample within the bound, which is what both Table 1
 (detection time) and Figure 4 (counterexample length) report.
+
+The work happens in :class:`BmcSession`, which keeps one persistent
+:class:`~repro.solve.context.SolverContext` for its lifetime: frame
+constraints are asserted permanently, the property violation of the frame
+under test is passed as an assumption, and the session can be *extended* to
+larger bounds without redoing earlier frames.  ``BmcEngine`` is the classic
+one-call facade; ``KInductionEngine`` drives one session across its whole
+base-case schedule.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import time
 from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.errors import BmcError
-from repro.sat.solver import SatSolver
+from repro.sat.solver import SolverStats
 from repro.smt import terms as T
-from repro.smt.bitblast import BitBlaster
 from repro.smt.evaluator import evaluate, free_variables
+from repro.solve.backend import is_default_backend
+from repro.solve.context import SolverContext
 from repro.ts.system import TransitionSystem
 from repro.ts.unroll import Unroller
 from repro.bmc.trace import Trace, TraceStep
-from repro.utils.bitops import from_bits
 
 
 @dataclass
@@ -32,6 +41,15 @@ class BmcStats:
     frames_checked: int = 0
     elapsed_seconds: float = 0.0
     per_frame_seconds: list[float] = field(default_factory=list)
+    solver_stats: SolverStats = field(default_factory=SolverStats)
+
+    def copy(self) -> "BmcStats":
+        """A detached snapshot (lists and nested stats copied)."""
+        return dataclasses.replace(
+            self,
+            per_frame_seconds=list(self.per_frame_seconds),
+            solver_stats=self.solver_stats.copy(),
+        )
 
 
 @dataclass
@@ -58,13 +76,176 @@ class BmcResult:
         return None if self.trace is None else self.trace.length
 
 
+class BmcSession:
+    """Incremental BMC over one persistent solver context.
+
+    A session may be extended repeatedly: ``extend_to(8)`` followed by
+    ``extend_to(12)`` checks frames 9..12 only, reusing every clause and
+    every learned clause from the earlier frames.  ``stats`` accumulates
+    over the session's lifetime.
+    """
+
+    def __init__(
+        self,
+        ts: TransitionSystem,
+        property_name: str,
+        start_frame: int = 0,
+        backend: str = "cdcl",
+        context: Optional[SolverContext] = None,
+    ):
+        ts.validate()
+        if property_name not in ts.properties:
+            raise BmcError(f"unknown property {property_name!r}")
+        self.ts = ts
+        self.property_name = property_name
+        self.start_frame = start_frame
+        self.unroller = Unroller(ts)
+        if context is not None and not is_default_backend(backend):
+            raise BmcError(
+                "pass either a backend spec or an explicit context, not both: "
+                "a supplied context already carries its own backend"
+            )
+        self.context = context if context is not None else SolverContext(backend=backend)
+        # Solver work is accumulated per extend_to call, so queries a shared
+        # context serves before or between calls are never attributed to
+        # this session.
+        self._session_solver_stats = SolverStats()
+        self.stats = BmcStats()
+        self._constraints_loaded = 0  # frames whose constraints are asserted
+        self._next_frame = 0  # first frame not yet decided safe
+
+    # ---------------------------------------------------------------- loading
+
+    def _load_constraints(self, frame: int) -> None:
+        while self._constraints_loaded <= frame:
+            k = self._constraints_loaded
+            for constraint in self.unroller.constraints_at(k):
+                if constraint.is_const:
+                    if constraint.const_value() == 0:
+                        raise BmcError("a global constraint is constantly false")
+                    continue
+                self.context.add(constraint)
+            self._constraints_loaded += 1
+
+    # --------------------------------------------------------------- checking
+
+    def extend_to(
+        self, bound: int, conflict_budget: Optional[int] = None
+    ) -> BmcResult:
+        """Check all not-yet-checked frames up to ``bound`` (inclusive).
+
+        ``conflict_budget`` caps the *total* conflicts of this call across
+        all frames (matching the historical one-solver-per-check semantics),
+        not each frame individually.
+        """
+        if bound < 0:
+            raise BmcError(f"bound must be non-negative, got {bound}")
+        stats = self.stats
+        start_time = time.perf_counter()
+        remaining_budget = conflict_budget
+        stats_origin = self.context.stats.copy()
+
+        def finish(holds: Optional[bool], bound_out: int, trace=None) -> BmcResult:
+            stats.elapsed_seconds += time.perf_counter() - start_time
+            self._session_solver_stats.merge(self.context.stats.since(stats_origin))
+            stats.solver_stats = self._session_solver_stats
+            # Hand each result a detached snapshot: the session keeps
+            # accumulating into its own stats on later extend_to calls.
+            return BmcResult(
+                holds=holds,
+                bound=bound_out,
+                property_name=self.property_name,
+                trace=trace,
+                stats=stats.copy(),
+            )
+
+        for frame in range(self._next_frame, bound + 1):
+            self._load_constraints(frame)
+            if frame < self.start_frame:
+                self._next_frame = frame + 1
+                continue
+            frame_start = time.perf_counter()
+            property_term = self.unroller.property_at(self.property_name, frame)
+            violation = T.bv_not(property_term)
+            if violation.is_const and violation.const_value() == 0:
+                # The property reduced to true at this frame; no query needed.
+                stats.frames_checked += 1
+                stats.per_frame_seconds.append(time.perf_counter() - frame_start)
+                self._next_frame = frame + 1
+                continue
+            if remaining_budget is not None and remaining_budget <= 0:
+                # Budget exhausted before this frame was attempted: report
+                # inconclusive without counting the frame, so a re-extend
+                # with a fresh budget does not double-count it.
+                return finish(None, frame)
+            stats.solver_calls += 1
+            result = self.context.check(
+                assumptions=[violation],
+                conflict_budget=remaining_budget,
+                full_model=True,
+            )
+            if remaining_budget is not None:
+                remaining_budget -= result.stats.conflicts
+            if result.satisfiable is None:
+                # Undecided: the frame stays pending (and uncounted), so a
+                # re-extend with a fresh budget retries it without skewing
+                # frames_checked / per_frame_seconds.
+                return finish(None, frame)
+            stats.frames_checked += 1
+            stats.per_frame_seconds.append(time.perf_counter() - frame_start)
+            if result.satisfiable:
+                trace = self._build_trace(result.model, frame)
+                return finish(False, frame, trace=trace)
+            self._next_frame = frame + 1
+        return finish(True, bound)
+
+    # ------------------------------------------------------------------ trace
+
+    def _build_trace(self, model: dict[str, int], last_frame: int) -> Trace:
+        def value_of(term: T.BV) -> int:
+            assignment = dict(model)
+            for var in free_variables(term):
+                assignment.setdefault(var.name or "", 0)
+            return evaluate(term, assignment)
+
+        trace = Trace(property_name=self.property_name)
+        for frame in range(0, last_frame + 1):
+            step = TraceStep(frame=frame)
+            for state in self.ts.states:
+                step.states[state.name] = value_of(
+                    self.unroller.state_term(state.name, frame)
+                )
+            for symbol in self.ts.inputs:
+                assert symbol.name is not None
+                step.inputs[symbol.name] = value_of(
+                    self.unroller.input_term(symbol.name, frame)
+                )
+            trace.steps.append(step)
+        return trace
+
+
 class BmcEngine:
     """Bounded model checking over :class:`~repro.ts.system.TransitionSystem`."""
 
-    def __init__(self, ts: TransitionSystem, start_frame: int = 0):
+    def __init__(
+        self,
+        ts: TransitionSystem,
+        start_frame: int = 0,
+        backend: str = "cdcl",
+    ):
         ts.validate()
         self.ts = ts
         self.start_frame = start_frame
+        self.backend = backend
+
+    def session(self, property_name: str) -> BmcSession:
+        """A fresh incremental session for ``property_name``."""
+        return BmcSession(
+            self.ts,
+            property_name,
+            start_frame=self.start_frame,
+            backend=self.backend,
+        )
 
     def check(
         self,
@@ -73,106 +254,6 @@ class BmcEngine:
         conflict_budget: Optional[int] = None,
     ) -> BmcResult:
         """Check a named property up to ``bound`` frames (inclusive)."""
-        if property_name not in self.ts.properties:
-            raise BmcError(f"unknown property {property_name!r}")
-        if bound < 0:
-            raise BmcError(f"bound must be non-negative, got {bound}")
-
-        stats = BmcStats()
-        start_time = time.perf_counter()
-        unroller = Unroller(self.ts)
-
-        # Incremental BMC: one bit-blaster and one CDCL solver shared across
-        # frames.  Constraints are asserted as clauses; the property
-        # violation of the frame under test is passed as an assumption so
-        # learned clauses stay valid for later frames.
-        blaster = BitBlaster()
-        solver = SatSolver()
-        clauses_loaded = 0
-
-        def sync_clauses() -> None:
-            nonlocal clauses_loaded
-            for clause in blaster.cnf.clauses[clauses_loaded:]:
-                solver.add_clause(clause)
-            clauses_loaded = len(blaster.cnf.clauses)
-
-        for frame in range(0, bound + 1):
-            for constraint in unroller.constraints_at(frame):
-                if constraint.is_const:
-                    if constraint.const_value() == 0:
-                        raise BmcError("a global constraint is constantly false")
-                    continue
-                blaster.assert_term(constraint)
-            if frame < self.start_frame:
-                continue
-            frame_start = time.perf_counter()
-            stats.frames_checked += 1
-            property_term = unroller.property_at(property_name, frame)
-            violation = T.bv_not(property_term)
-            if violation.is_const and violation.const_value() == 0:
-                # The property reduced to true at this frame; no query needed.
-                stats.per_frame_seconds.append(time.perf_counter() - frame_start)
-                continue
-            violation_literal = blaster.assumption_literal(violation)
-            sync_clauses()
-            stats.solver_calls += 1
-            result = solver.solve(
-                assumptions=[violation_literal], conflict_budget=conflict_budget
-            )
-            stats.per_frame_seconds.append(time.perf_counter() - frame_start)
-            if result.satisfiable is None:
-                stats.elapsed_seconds = time.perf_counter() - start_time
-                return BmcResult(
-                    holds=None,
-                    bound=frame,
-                    property_name=property_name,
-                    stats=stats,
-                )
-            if result.satisfiable:
-                model = self._extract_model(blaster, result)
-                trace = self._build_trace(unroller, model, frame, property_name)
-                stats.elapsed_seconds = time.perf_counter() - start_time
-                return BmcResult(
-                    holds=False,
-                    bound=frame,
-                    property_name=property_name,
-                    trace=trace,
-                    stats=stats,
-                )
-        stats.elapsed_seconds = time.perf_counter() - start_time
-        return BmcResult(
-            holds=True, bound=bound, property_name=property_name, stats=stats
+        return self.session(property_name).extend_to(
+            bound, conflict_budget=conflict_budget
         )
-
-    @staticmethod
-    def _extract_model(blaster: BitBlaster, result) -> dict[str, int]:
-        """Read back integer values for every bit-blasted variable."""
-        model: dict[str, int] = {}
-        for name, bits in blaster._var_bits.items():
-            values = [
-                1 if result.model.get(abs(b), False) == (b > 0) else 0 for b in bits
-            ]
-            model[name] = from_bits(values)
-        return model
-
-    # ------------------------------------------------------------------ trace
-
-    def _build_trace(
-        self, unroller: Unroller, model: dict[str, int], last_frame: int, property_name: str
-    ) -> Trace:
-        def value_of(term: T.BV) -> int:
-            assignment = dict(model)
-            for var in free_variables(term):
-                assignment.setdefault(var.name or "", 0)
-            return evaluate(term, assignment)
-
-        trace = Trace(property_name=property_name)
-        for frame in range(0, last_frame + 1):
-            step = TraceStep(frame=frame)
-            for state in self.ts.states:
-                step.states[state.name] = value_of(unroller.state_term(state.name, frame))
-            for symbol in self.ts.inputs:
-                assert symbol.name is not None
-                step.inputs[symbol.name] = value_of(unroller.input_term(symbol.name, frame))
-            trace.steps.append(step)
-        return trace

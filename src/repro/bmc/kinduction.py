@@ -6,6 +6,16 @@ bug-free baseline processor in the test suite).  The implementation is the
 textbook one: the base case is BMC up to ``k``; the inductive step checks
 that ``k`` consecutive property-satisfying steps (from an arbitrary state
 satisfying the constraints) force the property in step ``k + 1``.
+
+Both halves run on persistent :class:`~repro.solve.context.SolverContext`
+state.  The base case is one :class:`~repro.bmc.engine.BmcSession` extended
+frame by frame as ``k`` grows, so no base frame is ever re-checked.  The
+inductive step keeps a single context across all depths: the symbolic
+frames are extended instead of rebuilt, ``P`` at frames ``0..k-1`` is
+asserted permanently as the depth grows, and only the violation ``¬P`` at
+frame ``k`` — which must be retracted at the next depth — is passed as an
+assumption, so the step solver's learned clauses survive from depth to
+depth.
 """
 
 from __future__ import annotations
@@ -14,11 +24,12 @@ import time
 from dataclasses import dataclass, field
 from typing import Optional
 
-from repro.bmc.engine import BmcEngine, BmcResult
+from repro.bmc.engine import BmcResult, BmcSession
 from repro.errors import BmcError
+from repro.sat.solver import SolverStats
 from repro.smt import terms as T
 from repro.smt.evaluator import substitute
-from repro.smt.solver import BVSolver
+from repro.solve.context import SolverContext
 from repro.ts.system import TransitionSystem
 
 
@@ -31,34 +42,37 @@ class KInductionResult:
     property_name: str
     base_result: Optional[BmcResult] = None
     elapsed_seconds: float = 0.0
+    step_solver_stats: SolverStats = field(default_factory=SolverStats)
 
 
 class KInductionEngine:
     """Prove safety properties by k-induction."""
 
-    def __init__(self, ts: TransitionSystem):
+    def __init__(self, ts: TransitionSystem, backend: str = "cdcl"):
         ts.validate()
         self.ts = ts
+        self.backend = backend
 
-    def _symbolic_frames(self, count: int) -> list[dict]:
-        """Frame maps starting from a fully symbolic state (no init)."""
-        frames: list[dict] = []
+    def _initial_frame(self) -> dict:
+        """Frame map for a fully symbolic state (no init)."""
         mapping: dict = {}
         for state in self.ts.states:
             mapping[state.symbol] = T.fresh_var(f"ind_{state.name}@0", state.width)
         for symbol in self.ts.inputs:
             mapping[symbol] = T.fresh_var(f"ind_{symbol.name}@0", symbol.width)
-        frames.append(mapping)
-        for k in range(1, count):
-            prev = frames[k - 1]
-            new_map: dict = {}
-            for symbol in self.ts.inputs:
-                new_map[symbol] = T.fresh_var(f"ind_{symbol.name}@{k}", symbol.width)
-            for state in self.ts.states:
-                assert state.next is not None
-                new_map[state.symbol] = substitute(state.next, prev)
-            frames.append(new_map)
-        return frames
+        return mapping
+
+    def _extend_frames(self, frames: list[dict]) -> None:
+        """Append the successor of the last frame (fresh inputs, stepped states)."""
+        k = len(frames)
+        prev = frames[k - 1]
+        new_map: dict = {}
+        for symbol in self.ts.inputs:
+            new_map[symbol] = T.fresh_var(f"ind_{symbol.name}@{k}", symbol.width)
+        for state in self.ts.states:
+            assert state.next is not None
+            new_map[state.symbol] = substitute(state.next, prev)
+        frames.append(new_map)
 
     def prove(
         self,
@@ -72,9 +86,18 @@ class KInductionEngine:
         start = time.perf_counter()
         prop = self.ts.properties[property_name]
 
+        # One incremental session for every base case, one persistent context
+        # for every inductive step.
+        base_session = BmcSession(self.ts, property_name, backend=self.backend)
+        step_ctx = SolverContext(backend=self.backend)
+        frames = [self._initial_frame()]
+        for constraint in self.ts.constraints:
+            step_ctx.add(substitute(constraint, frames[0]))
+
         for k in range(1, max_k + 1):
-            # Base case: no counterexample of length <= k from the initial state.
-            base = BmcEngine(self.ts).check(property_name, bound=k, conflict_budget=conflict_budget)
+            # Base case: no counterexample of length <= k from the initial
+            # state.  Only the frames beyond the previous depth are checked.
+            base = base_session.extend_to(k, conflict_budget=conflict_budget)
             if base.holds is False:
                 return KInductionResult(
                     proven=False,
@@ -82,6 +105,7 @@ class KInductionEngine:
                     property_name=property_name,
                     base_result=base,
                     elapsed_seconds=time.perf_counter() - start,
+                    step_solver_stats=step_ctx.stats.copy(),
                 )
             if base.holds is None:
                 return KInductionResult(
@@ -90,17 +114,21 @@ class KInductionEngine:
                     property_name=property_name,
                     base_result=base,
                     elapsed_seconds=time.perf_counter() - start,
+                    step_solver_stats=step_ctx.stats.copy(),
                 )
-            # Inductive step.
-            frames = self._symbolic_frames(k + 1)
-            solver = BVSolver()
-            for i in range(k + 1):
-                for constraint in self.ts.constraints:
-                    solver.add(substitute(constraint, frames[i]))
-            for i in range(k):
-                solver.add(substitute(prop, frames[i]))
-            solver.add(T.bv_not(substitute(prop, frames[k])))
-            result = solver.check(conflict_budget=conflict_budget)
+            # Inductive step at depth k: extend the symbolic unrolling by one
+            # frame, permanently assert P at frame k-1 (sound for all later
+            # depths), and assume the violation at frame k for this query
+            # only.
+            self._extend_frames(frames)
+            for constraint in self.ts.constraints:
+                step_ctx.add(substitute(constraint, frames[k]))
+            step_ctx.add(substitute(prop, frames[k - 1]))
+            result = step_ctx.check(
+                assumptions=[T.bv_not(substitute(prop, frames[k]))],
+                conflict_budget=conflict_budget,
+                need_model=False,
+            )
             if result.satisfiable is False:
                 return KInductionResult(
                     proven=True,
@@ -108,10 +136,12 @@ class KInductionEngine:
                     property_name=property_name,
                     base_result=base,
                     elapsed_seconds=time.perf_counter() - start,
+                    step_solver_stats=step_ctx.stats.copy(),
                 )
         return KInductionResult(
             proven=None,
             k=max_k,
             property_name=property_name,
             elapsed_seconds=time.perf_counter() - start,
+            step_solver_stats=step_ctx.stats.copy(),
         )

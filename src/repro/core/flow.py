@@ -66,10 +66,12 @@ class _BaseFlow:
         config: ProcessorConfig,
         fifo_depth: int = 2,
         compare_memory: bool = True,
+        backend: str = "cdcl",
     ):
         self.config = config
         self.fifo_depth = fifo_depth
         self.compare_memory = compare_memory
+        self.backend = backend
 
     def build_model(self, bug: Optional[Bug] = None) -> QedVerificationModel:
         raise NotImplementedError
@@ -83,7 +85,7 @@ class _BaseFlow:
         """Build the verification model, run BMC and summarise the outcome."""
         start = time.perf_counter()
         model = self.build_model(bug)
-        engine = BmcEngine(model.ts)
+        engine = BmcEngine(model.ts, backend=self.backend)
         result = engine.check(model.property_name, bound=bound, conflict_budget=conflict_budget)
         elapsed = time.perf_counter() - start
         detected: Optional[bool]
@@ -133,8 +135,14 @@ class SepeSqedFlow(_BaseFlow):
         fifo_depth: int = 2,
         compare_memory: bool = True,
         num_temps: Optional[int] = None,
+        backend: str = "cdcl",
     ):
-        super().__init__(config, fifo_depth=fifo_depth, compare_memory=compare_memory)
+        super().__init__(
+            config,
+            fifo_depth=fifo_depth,
+            compare_memory=compare_memory,
+            backend=backend,
+        )
         self.num_temps = num_temps
         if equivalents is None:
             available = default_equivalent_programs(config.isa)

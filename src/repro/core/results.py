@@ -30,6 +30,11 @@ class VerificationOutcome:
     def trace(self) -> Optional[Trace]:
         return None if self.bmc_result is None else self.bmc_result.trace
 
+    @property
+    def solver_stats(self):
+        """CDCL work counters of the underlying BMC run (``None`` if absent)."""
+        return None if self.bmc_result is None else self.bmc_result.stats.solver_stats
+
     def summary_row(self) -> list[str]:
         """Row used by the experiment harnesses' tables."""
         status = {True: "detected", False: "not detected", None: "inconclusive"}[self.detected]

@@ -19,6 +19,10 @@ class SmtError(ReproError):
     """Ill-typed bit-vector terms or unsupported operations."""
 
 
+class SolveError(ReproError):
+    """Misuse of the persistent solver context or an unavailable backend."""
+
+
 class IsaError(ReproError):
     """Unknown instruction, bad operand, or encoding/decoding failure."""
 

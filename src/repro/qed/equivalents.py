@@ -18,20 +18,46 @@ from typing import Iterable, Mapping, Optional
 from repro.errors import QedError
 from repro.isa.config import IsaConfig
 from repro.smt import terms as T
-from repro.smt.solver import BVSolver
+from repro.solve.context import SolverContext
 from repro.synth.components import ComponentLibrary, build_default_library
 from repro.synth.program import ProgramSlot, SynthesizedProgram
 from repro.synth.spec import spec_from_instruction
 from repro.utils.bitops import mask
 
 
-def verify_equivalence(program: SynthesizedProgram) -> bool:
-    """Prove (by exhaustive bit-vector reasoning) that a program matches its spec."""
+def verify_equivalence(
+    program: SynthesizedProgram, context: Optional[SolverContext] = None
+) -> bool:
+    """Prove (by exhaustive bit-vector reasoning) that a program matches its spec.
+
+    Pass a shared ``context`` to amortise the encoding across a batch of
+    checks: each program's disagreement constraint then lives in a push/pop
+    scope, so component semantics shared between programs blast once and
+    the SAT backend keeps its learned clauses from check to check.
+    """
     spec = program.spec
     inputs = spec.fresh_input_terms(prefix="eqcheck")
-    solver = BVSolver()
-    solver.add(T.bv_ne(spec.output_term(inputs), program.output_term(inputs)))
-    return not solver.check().satisfiable
+    disagreement = T.bv_ne(spec.output_term(inputs), program.output_term(inputs))
+    if context is None:
+        ctx = SolverContext()
+        ctx.add(disagreement)
+        return not ctx.check().satisfiable
+    context.push()
+    try:
+        context.add(disagreement)
+        result = context.check()
+    finally:
+        context.pop()
+    return not result.satisfiable
+
+
+def verify_equivalences(
+    programs: Mapping[str, SynthesizedProgram],
+    context: Optional[SolverContext] = None,
+) -> dict[str, bool]:
+    """Check a whole table of equivalent programs on one shared context."""
+    ctx = context if context is not None else SolverContext()
+    return {name: verify_equivalence(program, ctx) for name, program in programs.items()}
 
 
 def _slot(library: ComponentLibrary, name: str, sources, attrs=()) -> ProgramSlot:

@@ -14,6 +14,7 @@ It also supports solving under assumptions, which the incremental users
 
 from __future__ import annotations
 
+import dataclasses
 import heapq
 from dataclasses import dataclass, field
 from typing import Iterable, Optional, Sequence
@@ -36,6 +37,34 @@ class SolverStats:
     restarts: int = 0
     learned_clauses: int = 0
     max_decision_level: int = 0
+
+    def copy(self) -> "SolverStats":
+        """A detached snapshot of the counters."""
+        return dataclasses.replace(self)
+
+    def since(self, earlier: "SolverStats") -> "SolverStats":
+        """Counters accumulated since the ``earlier`` snapshot was taken.
+
+        ``max_decision_level`` is a high-water mark rather than a counter, so
+        the current value is kept as-is.
+        """
+        return SolverStats(
+            decisions=self.decisions - earlier.decisions,
+            propagations=self.propagations - earlier.propagations,
+            conflicts=self.conflicts - earlier.conflicts,
+            restarts=self.restarts - earlier.restarts,
+            learned_clauses=self.learned_clauses - earlier.learned_clauses,
+            max_decision_level=self.max_decision_level,
+        )
+
+    def merge(self, other: "SolverStats") -> None:
+        """Accumulate ``other`` into this record (in place)."""
+        self.decisions += other.decisions
+        self.propagations += other.propagations
+        self.conflicts += other.conflicts
+        self.restarts += other.restarts
+        self.learned_clauses += other.learned_clauses
+        self.max_decision_level = max(self.max_decision_level, other.max_decision_level)
 
 
 @dataclass
@@ -138,6 +167,10 @@ class SatSolver:
             self._watches.append([])
             self._watches.append([])
             heapq.heappush(self._order_heap, (0.0, self._num_vars))
+
+    def reserve(self, num_vars: int) -> None:
+        """Make sure variables ``1..num_vars`` exist even if unconstrained."""
+        self._ensure_var(num_vars)
 
     def add_cnf(self, cnf: CNF) -> None:
         """Add all clauses of ``cnf`` (and reserve its variable range)."""
@@ -400,11 +433,13 @@ class SatSolver:
         self,
         assumptions: Iterable[int] = (),
         conflict_budget: Optional[int] = None,
+        need_model: bool = True,
     ) -> SatResult:
         """Decide satisfiability under optional assumptions.
 
         ``conflict_budget`` bounds the number of conflicts; when exhausted the
-        result has ``satisfiable=None``.
+        result has ``satisfiable=None``.  ``need_model=False`` skips building
+        the model dict on SAT answers (for verdict-only callers).
         """
         assumptions = [int(a) for a in assumptions]
         if not self._ok:
@@ -464,10 +499,12 @@ class SatSolver:
             if next_lit == 0:
                 var = self._decide()
                 if var == 0:
-                    model = {
-                        v: self._assign[v] == _TRUE
-                        for v in range(1, self._num_vars + 1)
-                    }
+                    model: dict[int, bool] = {}
+                    if need_model:
+                        model = {
+                            v: self._assign[v] == _TRUE
+                            for v in range(1, self._num_vars + 1)
+                        }
                     result = SatResult(True, model=model, stats=self.stats)
                     self._backtrack(0)
                     return result

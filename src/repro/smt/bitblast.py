@@ -16,6 +16,9 @@ from repro.smt import terms as T
 from repro.smt.terms import BV
 from repro.utils.bitops import clog2
 
+_GATE_AND = 0
+_GATE_XOR = 1
+
 
 class BitBlaster:
     """Translate :class:`~repro.smt.terms.BV` terms into CNF clauses."""
@@ -30,6 +33,11 @@ class BitBlaster:
         self._cache: dict[int, list[int]] = {}
         # variable name -> list of literals
         self._var_bits: dict[str, list[int]] = {}
+        # structural hashing of gates: (kind, a, b) -> output literal, with
+        # operands canonically ordered.  Distinct terms that bit-blast to the
+        # same gate structure (repeated pipeline logic across BMC frames,
+        # re-instantiated CEGIS examples) then share literals and clauses.
+        self._gate_cache: dict[tuple[int, int, int], int] = {}
 
     # ------------------------------------------------------------ primitives
 
@@ -50,10 +58,17 @@ class BitBlaster:
             return a
         if a == -b:
             return self.FALSE
+        if a > b:
+            a, b = b, a
+        key = (_GATE_AND, a, b)
+        out = self._gate_cache.get(key)
+        if out is not None:
+            return out
         out = self._new_lit()
         self.cnf.add_clause([-out, a])
         self.cnf.add_clause([-out, b])
         self.cnf.add_clause([out, -a, -b])
+        self._gate_cache[key] = out
         return out
 
     def _or(self, a: int, b: int) -> int:
@@ -72,12 +87,26 @@ class BitBlaster:
             return self.FALSE
         if a == -b:
             return self.TRUE
-        out = self._new_lit()
-        self.cnf.add_clause([-out, a, b])
-        self.cnf.add_clause([-out, -a, -b])
-        self.cnf.add_clause([out, -a, b])
-        self.cnf.add_clause([out, a, -b])
-        return out
+        # xor is symmetric under operand order and pushes negations to the
+        # output (a ^ b == -(−a ^ b)), so normalise to positive, ordered
+        # operands and track the sign of the result.
+        sign = 1
+        if a < 0:
+            a, sign = -a, -sign
+        if b < 0:
+            b, sign = -b, -sign
+        if a > b:
+            a, b = b, a
+        key = (_GATE_XOR, a, b)
+        out = self._gate_cache.get(key)
+        if out is None:
+            out = self._new_lit()
+            self.cnf.add_clause([-out, a, b])
+            self.cnf.add_clause([-out, -a, -b])
+            self.cnf.add_clause([out, -a, b])
+            self.cnf.add_clause([out, a, -b])
+            self._gate_cache[key] = out
+        return sign * out
 
     def _ite(self, cond: int, then_lit: int, else_lit: int) -> int:
         if cond == self.TRUE:

@@ -4,69 +4,78 @@
 and the BMC engine need: assert width-1 terms, check satisfiability (with
 optional width-1 assumptions), and query integer values of arbitrary terms
 in the found model.
+
+Since the ``repro.solve`` refactor the facade is *incremental*: it owns a
+persistent :class:`~repro.solve.context.SolverContext`, so repeated
+``check`` calls reuse the bit-blasted encoding and the backend's learned
+clauses instead of re-blasting the whole assertion set.  Free-variable sets
+are cached per assertion as they are added, and ``push``/``pop`` expose the
+context's assumption-scoped retractable assertions.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Iterable, Optional
 
 from repro.errors import SmtError
-from repro.sat.solver import SatSolver
-from repro.smt.bitblast import BitBlaster
-from repro.smt.evaluator import evaluate, free_variables
+from repro.solve.backend import SatBackend, is_default_backend
+from repro.solve.context import BVResult, SolverContext
 from repro.smt.terms import BV
-from repro.utils.bitops import from_bits
 
-
-@dataclass
-class BVResult:
-    """Outcome of a bit-vector satisfiability check."""
-
-    satisfiable: Optional[bool]
-    model: dict[str, int] = field(default_factory=dict)
-    num_clauses: int = 0
-    num_vars: int = 0
-
-    def __bool__(self) -> bool:
-        return bool(self.satisfiable)
-
-    def value_of(self, term: BV) -> int:
-        """Evaluate ``term`` under the model (unassigned variables read as 0)."""
-        if not self.satisfiable:
-            raise SmtError("no model available: formula not satisfiable")
-        assignment = dict(self.model)
-        for var in free_variables(term):
-            assignment.setdefault(var.name or "", 0)
-        return evaluate(term, assignment)
+__all__ = ["BVResult", "BVSolver", "check_sat", "check_valid"]
 
 
 class BVSolver:
-    """Accumulate width-1 assertions and solve them by bit-blasting.
+    """Accumulate width-1 assertions and solve them incrementally.
 
-    The solver is not incremental at the SAT level: every ``check`` call
-    re-blasts the current assertion set.  Word-level simplification plus the
-    modest problem sizes used in the experiments keep this affordable, and it
-    sidesteps the subtle invalidation issues a true incremental interface
-    would bring.
+    The solver is a thin facade over :class:`~repro.solve.context.SolverContext`:
+    one bit-blaster and one SAT backend live as long as the solver, every
+    assertion is blasted exactly once, and learned clauses survive across
+    ``check`` calls.  Pass ``backend`` to select a different SAT backend, or
+    ``context`` to share an existing context with other components.
     """
 
-    def __init__(self) -> None:
-        self._assertions: list[BV] = []
+    def __init__(
+        self,
+        backend: "str | SatBackend" = "cdcl",
+        context: Optional[SolverContext] = None,
+    ) -> None:
+        if context is not None and not is_default_backend(backend):
+            raise SmtError(
+                "pass either a backend spec or an explicit context, not both: "
+                "a supplied context already carries its own backend"
+            )
+        self._ctx = context if context is not None else SolverContext(backend=backend)
+
+    @property
+    def context(self) -> SolverContext:
+        """The underlying persistent solver context."""
+        return self._ctx
+
+    @property
+    def stats(self):
+        """Cumulative backend counters over the solver's lifetime."""
+        return self._ctx.stats
 
     def add(self, term: BV) -> None:
         """Assert a width-1 term."""
-        if term.width != 1:
-            raise SmtError(f"assertions must have width 1, got {term.width}")
-        self._assertions.append(term)
+        self._ctx.add(term)
 
     def add_all(self, terms: Iterable[BV]) -> None:
         for term in terms:
-            self.add(term)
+            self._ctx.add(term)
 
     @property
     def assertions(self) -> list[BV]:
-        return list(self._assertions)
+        return self._ctx.assertions
+
+    def push(self) -> int:
+        """Open a retractable assertion scope."""
+        return self._ctx.push()
+
+    def pop(self) -> None:
+        """Retract the innermost assertion scope."""
+        self._ctx.pop()
 
     def check(
         self,
@@ -74,53 +83,8 @@ class BVSolver:
         conflict_budget: Optional[int] = None,
     ) -> BVResult:
         """Check satisfiability of the conjunction of assertions and assumptions."""
-        blaster = BitBlaster()
-        for term in self._assertions:
-            if term.is_const:
-                if term.const_value() == 0:
-                    return BVResult(False)
-                continue
-            blaster.assert_term(term)
-        assumption_lits = []
-        for term in assumptions:
-            if term.is_const:
-                if term.const_value() == 0:
-                    return BVResult(False)
-                continue
-            assumption_lits.append(blaster.assumption_literal(term))
-
-        solver = SatSolver(blaster.cnf)
-        result = solver.solve(
-            assumptions=assumption_lits, conflict_budget=conflict_budget
-        )
-        if result.satisfiable is None:
-            return BVResult(None)
-        if not result.satisfiable:
-            return BVResult(
-                False,
-                num_clauses=len(blaster.cnf.clauses),
-                num_vars=blaster.cnf.num_vars,
-            )
-
-        model: dict[str, int] = {}
-        relevant = set()
-        for term in self._assertions:
-            relevant |= free_variables(term)
-        for term in assumptions:
-            relevant |= free_variables(term)
-        for var in relevant:
-            assert var.name is not None
-            bits = blaster.variable_bits(var.name)
-            if bits is None:
-                model[var.name] = 0
-                continue
-            values = [1 if result.model.get(abs(b), False) == (b > 0) else 0 for b in bits]
-            model[var.name] = from_bits(values)
-        return BVResult(
-            True,
-            model=model,
-            num_clauses=len(blaster.cnf.clauses),
-            num_vars=blaster.cnf.num_vars,
+        return self._ctx.check(
+            assumptions=assumptions, conflict_budget=conflict_budget
         )
 
 

@@ -1,0 +1,32 @@
+"""Persistent incremental solving shared by BMC, k-induction, CEGIS and QED.
+
+The subsystem has two halves:
+
+* :mod:`repro.solve.context` — :class:`SolverContext`, a long-lived pairing
+  of one bit-blaster and one SAT backend with assumption-scoped push/pop,
+* :mod:`repro.solve.backend` — the pluggable backend protocol plus the
+  builtin CDCL backend and a DIMACS subprocess backend.
+
+Every solver loop in the stack (``BVSolver``, ``BmcEngine``/``BmcSession``,
+``KInductionEngine``, ``CegisEngine``, ``qed.verify_equivalence``) runs on
+this API.
+"""
+
+from repro.solve.backend import (
+    CdclBackend,
+    DimacsBackend,
+    SatBackend,
+    create_backend,
+    dimacs_solver_available,
+)
+from repro.solve.context import BVResult, SolverContext
+
+__all__ = [
+    "BVResult",
+    "CdclBackend",
+    "DimacsBackend",
+    "SatBackend",
+    "SolverContext",
+    "create_backend",
+    "dimacs_solver_available",
+]

@@ -1,0 +1,342 @@
+"""A persistent, incremental QF_BV solving context.
+
+``SolverContext`` owns one :class:`~repro.smt.bitblast.BitBlaster` and one
+SAT backend for its whole lifetime.  Everything the iterated solver loops
+need falls out of that single decision:
+
+* repeated subterms — shared pipeline logic across BMC frames, repeated
+  CEGIS example instantiations — hit the blaster's term and gate caches and
+  blast to the same literals instead of being re-encoded,
+* the backend keeps its learned clauses, variable activities and saved
+  phases between queries (MiniSat-style incremental solving under
+  assumptions),
+* retractable assertions are supported through activation literals:
+  :meth:`push` opens a scope guarded by a fresh literal, scope assertions
+  become ``activation -> term`` clauses, every :meth:`check` assumes the
+  activation literals of the open scopes, and :meth:`pop` retires the
+  scope by asserting the negated activation literal — learned clauses
+  survive the pop.
+
+The SAT backend is pluggable (see :mod:`repro.solve.backend`): the builtin
+CDCL solver by default, or a DIMACS subprocess for external solvers.
+
+.. note::
+   The imports of the :mod:`repro.smt` modules are deferred to call time.
+   ``repro.smt.solver`` builds its ``BVSolver`` facade on this module, so a
+   module-level import in either direction would create a cycle through the
+   ``repro.smt`` package ``__init__``.
+"""
+
+from __future__ import annotations
+
+import weakref
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterable, Optional
+
+from repro.errors import SmtError, SolveError
+from repro.sat.solver import SolverStats
+from repro.solve.backend import SatBackend, create_backend
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.smt.bitblast import BitBlaster
+    from repro.smt.terms import BV
+
+
+@dataclass
+class BVResult:
+    """Outcome of a bit-vector satisfiability check.
+
+    ``stats`` carries the CDCL counters (decisions, conflicts, propagations,
+    ...) spent on *this* query only, so callers can aggregate per phase.
+    """
+
+    satisfiable: Optional[bool]
+    model: dict[str, int] = field(default_factory=dict)
+    num_clauses: int = 0
+    num_vars: int = 0
+    stats: SolverStats = field(default_factory=SolverStats)
+
+    def __bool__(self) -> bool:
+        return bool(self.satisfiable)
+
+    def value_of(self, term: "BV") -> int:
+        """Evaluate ``term`` under the model (unassigned variables read as 0)."""
+        from repro.smt.evaluator import evaluate, free_variables
+
+        if not self.satisfiable:
+            raise SmtError("no model available: formula not satisfiable")
+        assignment = dict(self.model)
+        for var in free_variables(term):
+            assignment.setdefault(var.name or "", 0)
+        return evaluate(term, assignment)
+
+
+#: Backend instances already bound to a context (weak so contexts can die).
+_CLAIMED_BACKENDS: "weakref.WeakSet" = weakref.WeakSet()
+
+_ALREADY_OWNED = (
+    "SAT backend instance is already owned by another SolverContext; "
+    "pass a spec string (e.g. 'cdcl') or a fresh backend instance"
+)
+
+
+def _claim_backend(backend: SatBackend) -> None:
+    """Bind ``backend`` to exactly one context, whatever its class shape."""
+    try:
+        if backend in _CLAIMED_BACKENDS:
+            raise SolveError(_ALREADY_OWNED)
+        _CLAIMED_BACKENDS.add(backend)
+        return
+    except TypeError:
+        pass  # not weak-referenceable; fall back to an instance attribute
+    if getattr(backend, "_solver_context_owned", False):
+        raise SolveError(_ALREADY_OWNED)
+    try:
+        backend._solver_context_owned = True  # type: ignore[attr-defined]
+    except AttributeError:
+        # Neither weak-referenceable nor attribute-assignable: refusing is
+        # safer than risking the silent clause/variable-space collision.
+        raise SolveError(
+            "cannot track ownership of this SAT backend instance "
+            "(__slots__ without __weakref__); pass a spec string instead"
+        )
+
+
+class _Scope:
+    """One assumption-guarded assertion scope."""
+
+    __slots__ = ("activation", "terms")
+
+    def __init__(self, activation: int):
+        self.activation = activation
+        self.terms: list["BV"] = []
+
+
+class SolverContext:
+    """Incremental QF_BV solving over one blaster and one SAT backend."""
+
+    def __init__(self, backend: "str | SatBackend" = "cdcl"):
+        from repro.smt.bitblast import BitBlaster
+
+        self._blaster = BitBlaster()
+        self._backend: SatBackend = create_backend(backend)
+        # A backend holds clauses numbered by this context's blaster, so a
+        # single instance must never serve two contexts: the second blaster
+        # restarts variable numbering and silently collides with the first
+        # context's clauses.  Spec strings always construct a fresh backend;
+        # instances are claimed on first use.
+        _claim_backend(self._backend)
+        self._clauses_synced = 0
+        # Root-level assertions in insertion order (constants included, for
+        # facade parity with the historical BVSolver behaviour).
+        self._root_terms: list["BV"] = []
+        self._root_failed = False
+        self._scopes: list[_Scope] = []
+        # term id -> frozenset of variable terms (cached once per assertion)
+        self._term_vars: dict[int, frozenset] = {}
+        # Running union of the root assertions' variables, maintained lazily
+        # so partial-model extraction costs O(new assertions) per check.
+        self._root_relevant: set = set()
+        self._root_vars_synced = 0
+
+    # ------------------------------------------------------------- properties
+
+    @property
+    def backend(self) -> SatBackend:
+        return self._backend
+
+    @property
+    def blaster(self) -> "BitBlaster":
+        return self._blaster
+
+    @property
+    def stats(self) -> SolverStats:
+        """Cumulative backend counters over the context's lifetime (live view)."""
+        return self._backend.stats
+
+    @property
+    def num_clauses(self) -> int:
+        return len(self._blaster.cnf.clauses)
+
+    @property
+    def num_vars(self) -> int:
+        return self._blaster.cnf.num_vars
+
+    @property
+    def assertions(self) -> list["BV"]:
+        """Root assertions plus the assertions of every open scope, in order."""
+        terms = list(self._root_terms)
+        for scope in self._scopes:
+            terms.extend(scope.terms)
+        return terms
+
+    @property
+    def scope_depth(self) -> int:
+        return len(self._scopes)
+
+    # ---------------------------------------------------------------- helpers
+
+    def _vars_of(self, term: "BV") -> frozenset:
+        cached = self._term_vars.get(term.tid)
+        if cached is None:
+            from repro.smt.evaluator import free_variables
+
+            cached = frozenset(free_variables(term))
+            self._term_vars[term.tid] = cached
+        return cached
+
+    def _sync(self) -> None:
+        """Feed clauses produced by the blaster since the last query."""
+        cnf = self._blaster.cnf
+        self._backend.reserve(cnf.num_vars)
+        clauses = cnf.clauses
+        for index in range(self._clauses_synced, len(clauses)):
+            self._backend.add_clause(clauses[index])
+        self._clauses_synced = len(clauses)
+
+    # --------------------------------------------------------------- scoping
+
+    def push(self) -> int:
+        """Open an assertion scope; returns the new scope depth."""
+        activation = self._blaster.cnf.new_var()
+        self._scopes.append(_Scope(activation))
+        return len(self._scopes)
+
+    def pop(self) -> None:
+        """Retire the innermost scope (its assertions become unreachable)."""
+        if not self._scopes:
+            raise SolveError("pop() without a matching push()")
+        scope = self._scopes.pop()
+        # Permanently disable the activation literal: the scope's guarded
+        # clauses are satisfied forever, and clauses learned from them stay
+        # sound because they all contain ``-activation``.
+        self._blaster.cnf.add_clause([-scope.activation])
+
+    # ------------------------------------------------------------- assertions
+
+    def add(self, term: "BV") -> None:
+        """Assert a width-1 term (scoped to the innermost open scope, if any)."""
+        if term.width != 1:
+            raise SmtError(f"assertions must have width 1, got {term.width}")
+        scope = self._scopes[-1] if self._scopes else None
+        if scope is not None:
+            scope.terms.append(term)
+        else:
+            self._root_terms.append(term)
+        if term.is_const:
+            if term.const_value() == 0:
+                if scope is None:
+                    self._root_failed = True
+                else:
+                    self._blaster.cnf.add_clause([-scope.activation])
+            return
+        literal = self._blaster.assumption_literal(term)
+        if scope is None:
+            self._blaster.cnf.add_clause([literal])
+        else:
+            self._blaster.cnf.add_clause([-scope.activation, literal])
+
+    def add_all(self, terms: Iterable["BV"]) -> None:
+        for term in terms:
+            self.add(term)
+
+    # ------------------------------------------------------------------ check
+
+    def check(
+        self,
+        assumptions: Iterable["BV"] = (),
+        conflict_budget: Optional[int] = None,
+        full_model: bool = False,
+        need_model: bool = True,
+    ) -> BVResult:
+        """Check satisfiability of the asserted terms plus ``assumptions``.
+
+        ``assumptions`` bind only this query.  With ``full_model=True`` the
+        model covers every bit-blasted variable (the BMC trace builder needs
+        that); the default covers the free variables of the live assertions
+        and the assumptions.  Callers that only consume the verdict (e.g.
+        the k-induction step query) pass ``need_model=False`` to skip model
+        extraction entirely.
+        """
+        if self._root_failed:
+            return BVResult(False)
+        assumption_terms: list["BV"] = []
+        assumption_lits = [scope.activation for scope in self._scopes]
+        for term in assumptions:
+            if term.width != 1:
+                raise SmtError(f"assumptions must have width 1, got {term.width}")
+            if term.is_const:
+                if term.const_value() == 0:
+                    return BVResult(False)
+                continue
+            assumption_lits.append(self._blaster.assumption_literal(term))
+            assumption_terms.append(term)
+        self._sync()
+        before = self._backend.stats.copy()
+        result = self._backend.solve(
+            assumptions=assumption_lits,
+            conflict_budget=conflict_budget,
+            need_model=need_model,
+        )
+        spent = self._backend.stats.since(before)
+        if result.satisfiable is None:
+            return BVResult(
+                None,
+                num_clauses=self.num_clauses,
+                num_vars=self.num_vars,
+                stats=spent,
+            )
+        if not result.satisfiable:
+            return BVResult(
+                False,
+                num_clauses=self.num_clauses,
+                num_vars=self.num_vars,
+                stats=spent,
+            )
+        model: dict[str, int] = {}
+        if need_model:
+            model = self._extract_model(result, assumption_terms, full_model)
+        return BVResult(
+            True,
+            model=model,
+            num_clauses=self.num_clauses,
+            num_vars=self.num_vars,
+            stats=spent,
+        )
+
+    def _extract_model(
+        self, result, assumption_terms: list["BV"], full_model: bool
+    ) -> dict[str, int]:
+        from repro.utils.bitops import from_bits
+
+        blaster = self._blaster
+        model: dict[str, int] = {}
+        if full_model:
+            names = list(blaster._var_bits)
+        else:
+            for index in range(self._root_vars_synced, len(self._root_terms)):
+                term = self._root_terms[index]
+                if not term.is_const:
+                    self._root_relevant |= self._vars_of(term)
+            self._root_vars_synced = len(self._root_terms)
+            relevant: set = set(self._root_relevant)
+            for scope in self._scopes:
+                for term in scope.terms:
+                    if not term.is_const:
+                        relevant |= self._vars_of(term)
+            for term in assumption_terms:
+                relevant |= self._vars_of(term)
+            names = []
+            for var in relevant:
+                assert var.name is not None
+                names.append(var.name)
+        for name in names:
+            bits = blaster.variable_bits(name)
+            if bits is None:
+                model[name] = 0
+                continue
+            values = [
+                1 if result.model.get(abs(b), False) == (b > 0) else 0 for b in bits
+            ]
+            model[name] = from_bits(values)
+        return model

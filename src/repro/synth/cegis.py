@@ -12,6 +12,17 @@ between two SMT queries (Section 2.2):
 The loop ends with a verified :class:`SynthesizedProgram`, with ``None``
 when the multiset cannot realise the specification (finite synthesis becomes
 UNSAT), or with ``None`` when the iteration budget is exhausted.
+
+Both phases keep a persistent :class:`~repro.solve.context.SolverContext`
+for the whole loop.  The synthesis context receives each counterexample's
+constraints *incrementally*, so the well-formedness encoding is blasted
+once and the learned clauses of iteration ``i`` prune the search of
+iteration ``i + 1``.  The verification context re-checks a changing
+candidate against a fixed specification, so each candidate's disagreement
+constraint lives in a push/pop scope while the specification's encoding and
+the solver state persist.  Set ``CegisConfig.incremental = False`` to
+rebuild fresh solvers per query (the pre-refactor behaviour, kept for
+benchmarking and differential testing).
 """
 
 from __future__ import annotations
@@ -22,8 +33,9 @@ from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
 from repro.errors import SynthesisError
+from repro.sat.solver import SolverStats
 from repro.smt import terms as T
-from repro.smt.solver import BVSolver
+from repro.solve.context import SolverContext
 from repro.synth.components import Component
 from repro.synth.encoder import LocationEncoder
 from repro.synth.program import SynthesizedProgram
@@ -38,6 +50,7 @@ class CegisConfig:
     max_iterations: int = 16
     initial_examples: int = 2
     conflict_budget: Optional[int] = None
+    incremental: bool = True
 
 
 @dataclass
@@ -49,6 +62,8 @@ class CegisStats:
     synthesis_queries: int = 0
     verification_queries: int = 0
     elapsed_seconds: float = 0.0
+    synthesis_solver_stats: SolverStats = field(default_factory=SolverStats)
+    verification_solver_stats: SolverStats = field(default_factory=SolverStats)
 
 
 @dataclass
@@ -66,8 +81,13 @@ class CegisOutcome:
 class CegisEngine:
     """Runs the two-phase CEGIS loop for a (spec, multiset) pair."""
 
-    def __init__(self, config: CegisConfig | None = None):
+    def __init__(
+        self,
+        config: CegisConfig | None = None,
+        backend: str = "cdcl",
+    ):
         self.config = config or CegisConfig()
+        self.backend = backend
 
     # ----------------------------------------------------------------- public
 
@@ -78,31 +98,75 @@ class CegisEngine:
         start = time.perf_counter()
         stats = CegisStats()
         encoder = LocationEncoder(spec, components)
+        incremental = self.config.incremental
 
-        solver = BVSolver()
-        solver.add_all(encoder.wfp_constraints())
+        synth_terms: list[T.BV] = list(encoder.wfp_constraints())
         for example in self._seed_examples(spec):
             stats.counterexamples += 1
-            solver.add_all(encoder.example_constraints(example))
+            synth_terms.extend(encoder.example_constraints(example))
+        # Oneshot mode rebuilds both contexts per query, so only build the
+        # persistent ones when they will actually be reused.
+        synth_ctx: Optional[SolverContext] = None
+        verify_ctx: Optional[SolverContext] = None
+        if incremental:
+            synth_ctx = SolverContext(backend=self.backend)
+            synth_ctx.add_all(synth_terms)
+            verify_ctx = SolverContext(backend=self.backend)
+        verify_inputs = spec.fresh_input_terms(prefix="verify")
+        spec_term = spec.output_term(verify_inputs)
 
         program: Optional[SynthesizedProgram] = None
         for _ in range(self.config.max_iterations):
             stats.iterations += 1
             stats.synthesis_queries += 1
-            result = solver.check(conflict_budget=self.config.conflict_budget)
+            if not incremental:
+                synth_ctx = SolverContext(backend=self.backend)
+                synth_ctx.add_all(synth_terms)
+            assert synth_ctx is not None
+            result = synth_ctx.check(conflict_budget=self.config.conflict_budget)
+            stats.synthesis_solver_stats.merge(result.stats)
             if not result.satisfiable:
                 program = None
                 break
             candidate = encoder.decode(result)
             stats.verification_queries += 1
-            counterexample = self.find_counterexample(spec, candidate)
+            ctx = verify_ctx if incremental else SolverContext(backend=self.backend)
+            counterexample = self._check_candidate(
+                ctx, verify_inputs, spec_term, candidate, stats
+            )
             if counterexample is None:
                 program = candidate
                 break
             stats.counterexamples += 1
-            solver.add_all(encoder.example_constraints(counterexample))
+            constraints = encoder.example_constraints(counterexample)
+            if incremental:
+                synth_ctx.add_all(constraints)
+            else:
+                synth_terms.extend(constraints)
         stats.elapsed_seconds = time.perf_counter() - start
         return CegisOutcome(program=program, stats=stats)
+
+    def _check_candidate(
+        self,
+        ctx: SolverContext,
+        input_terms: Sequence[T.BV],
+        spec_term: T.BV,
+        program: SynthesizedProgram,
+        stats: CegisStats,
+    ) -> Optional[list[int]]:
+        """Verify one candidate in a retractable scope of ``ctx``."""
+        ctx.push()
+        try:
+            ctx.add(T.bv_ne(spec_term, program.output_term(input_terms)))
+            result = ctx.check(conflict_budget=self.config.conflict_budget)
+        finally:
+            ctx.pop()
+        stats.verification_solver_stats.merge(result.stats)
+        if result.satisfiable is None:
+            raise SynthesisError("verification query exceeded its conflict budget")
+        if not result.satisfiable:
+            return None
+        return [result.value_of(term) for term in input_terms]
 
     def find_counterexample(
         self, spec: SynthesisSpec, program: SynthesizedProgram
@@ -110,15 +174,13 @@ class CegisEngine:
         """Return inputs where ``program`` disagrees with ``spec`` (or ``None``)."""
         input_terms = spec.fresh_input_terms(prefix="verify")
         spec_term = spec.output_term(input_terms)
-        program_term = program.output_term(input_terms)
-        solver = BVSolver()
-        solver.add(T.bv_ne(spec_term, program_term))
-        result = solver.check(conflict_budget=self.config.conflict_budget)
-        if result.satisfiable is None:
-            raise SynthesisError("verification query exceeded its conflict budget")
-        if not result.satisfiable:
-            return None
-        return [result.value_of(term) for term in input_terms]
+        return self._check_candidate(
+            SolverContext(backend=self.backend),
+            input_terms,
+            spec_term,
+            program,
+            CegisStats(),
+        )
 
     # ---------------------------------------------------------------- helpers
 
