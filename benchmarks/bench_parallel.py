@@ -1,0 +1,204 @@
+#!/usr/bin/env python
+"""Speedup-vs-jobs benchmark for the parallel verification drivers (JSON).
+
+Two workloads, each solved at several ``jobs`` levels with verdict
+assertions against the sequential path:
+
+* ``qed-batch`` — batch equivalence checking of the curated equivalent
+  programs: :func:`repro.par.qed.verify_equivalences_parallel` against the
+  sequential :func:`repro.qed.equivalents.verify_equivalences`.  Verdict
+  dicts must be identical (same keys, same order, same booleans).
+* ``bug-sweep`` — independent bug variants through
+  :meth:`repro.core.flow.SepeSqedFlow.run_many`, parallel jobs against the
+  sequential ``jobs=1`` sweep.  Detection verdicts and counterexample
+  lengths must match.
+
+The exit status asserts correctness everywhere (any verdict mismatch
+fails).  The speedup gate — the highest jobs level must beat ``jobs=1``
+wall-clock — is enforced when the machine can actually run workers
+concurrently (2+ CPUs) and ``--smoke`` was not passed; a single-core host
+can only validate verdict equivalence, never a speedup, so it reports
+``speedup_gate: "skipped (single cpu)"`` instead of failing spuriously.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_parallel.py [--smoke] [--out results.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+from repro.core.flow import SepeSqedFlow, pool_for_bug
+from repro.isa.config import IsaConfig
+from repro.par.qed import verify_equivalences_parallel
+from repro.proc.bugs import get_bug
+from repro.proc.config import ProcessorConfig
+from repro.qed.equivalents import default_equivalent_programs, verify_equivalences
+
+#: Ops whose equivalence proofs stay fast enough for the smoke pass.
+SMOKE_OPS = ["ADD", "SUB", "XOR", "OR", "AND", "SLT"]
+
+#: The multiplier rows are excluded even from the full batch: multiplier
+#: equivalence is SAT-hard and is spot-checked concretely by the test suite.
+FULL_SKIP = {"MUL", "MULH"}
+
+
+def _fill_speedups(runs: dict, base_jobs: int) -> None:
+    """Annotate every jobs level with its speedup relative to ``base_jobs``."""
+    base = runs[str(base_jobs)]["seconds"]
+    for entry in runs.values():
+        if entry["seconds"] > 0:
+            entry["speedup_vs_jobs1"] = round(base / entry["seconds"], 3)
+
+
+def bench_qed_batch(jobs_levels: list[int], smoke: bool) -> dict:
+    if smoke:
+        programs = default_equivalent_programs(IsaConfig.small(), ops=SMOKE_OPS)
+    else:
+        # The full batch runs on the 32-bit datapath: each equivalence proof
+        # then costs a few hundred milliseconds, so the work dominates the
+        # per-worker fork overhead and speedup-vs-jobs is measurable.
+        isa = IsaConfig.small(xlen=32)
+        programs = {
+            op: program
+            for op, program in default_equivalent_programs(isa).items()
+            if op not in FULL_SKIP
+        }
+
+    start = time.perf_counter()
+    sequential = verify_equivalences(programs)
+    sequential_seconds = time.perf_counter() - start
+
+    runs = {}
+    for jobs in jobs_levels:
+        start = time.perf_counter()
+        parallel = verify_equivalences_parallel(programs, jobs=jobs)
+        seconds = time.perf_counter() - start
+        runs[str(jobs)] = {
+            "seconds": round(seconds, 4),
+            "verdicts_match": parallel == sequential
+            and list(parallel) == list(sequential),
+            "speedup_vs_jobs1": None,
+        }
+    _fill_speedups(runs, jobs_levels[0])
+    return {
+        "name": "qed-batch",
+        "num_programs": len(programs),
+        "sequential_seconds": round(sequential_seconds, 4),
+        "jobs": runs,
+    }
+
+
+def bench_bug_sweep(jobs_levels: list[int], smoke: bool) -> dict:
+    isa = IsaConfig.small()
+    equivalents = default_equivalent_programs(isa)
+    bug_names = ["single_add_off_by_one"]
+    if not smoke:
+        bug_names += ["single_xor_as_or", "single_and_as_or"]
+    bugs = [get_bug(name) for name in bug_names]
+    # One shared pool so a single flow serves every variant of the sweep.
+    pool: list[str] = []
+    for bug in bugs:
+        for op in pool_for_bug(bug, equivalents):
+            if op not in pool:
+                pool.append(op)
+    config = ProcessorConfig(isa=isa, supported_ops=tuple(pool))
+    flow = SepeSqedFlow(
+        config,
+        equivalents={op: equivalents[op] for op in pool if op in equivalents},
+    )
+    bound = 9
+
+    def verdicts(outcomes):
+        return [(o.bug_name, o.detected, o.counterexample_length) for o in outcomes]
+
+    runs = {}
+    baseline = None
+    for jobs in jobs_levels:
+        start = time.perf_counter()
+        outcomes = flow.run_many(bugs, bound=bound, jobs=jobs)
+        seconds = time.perf_counter() - start
+        summary = verdicts(outcomes)
+        if baseline is None:
+            baseline = summary
+        runs[str(jobs)] = {
+            "seconds": round(seconds, 4),
+            "verdicts_match": summary == baseline,
+            "detected": [v[1] for v in summary],
+            "speedup_vs_jobs1": None,
+        }
+    _fill_speedups(runs, jobs_levels[0])
+    return {
+        "name": "bug-sweep",
+        "bugs": bug_names,
+        "bound": bound,
+        "jobs": runs,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", default=None, help="write JSON here (default: stdout)")
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small program subset, fewer jobs levels, no speedup gate (CI sanity)",
+    )
+    parser.add_argument(
+        "--jobs-levels",
+        type=int,
+        nargs="*",
+        default=None,
+        help="jobs levels to sweep (default: 1 2 4, smoke: 1 2)",
+    )
+    args = parser.parse_args(argv)
+
+    jobs_levels = args.jobs_levels or ([1, 2] if args.smoke else [1, 2, 4])
+    if jobs_levels[0] != 1:
+        jobs_levels = [1] + jobs_levels
+
+    cpu_count = os.cpu_count() or 1
+    workloads = [
+        bench_qed_batch(jobs_levels, args.smoke),
+        bench_bug_sweep(jobs_levels, args.smoke),
+    ]
+
+    all_match = all(
+        entry["verdicts_match"]
+        for workload in workloads
+        for entry in workload["jobs"].values()
+    )
+    top = str(max(jobs_levels))
+    qed = workloads[0]["jobs"]
+    if args.smoke:
+        speedup_gate = "skipped (smoke)"
+        gate_passed = True
+    elif cpu_count < 2:
+        speedup_gate = "skipped (single cpu)"
+        gate_passed = True
+    else:
+        gate_passed = qed[top]["seconds"] < qed["1"]["seconds"]
+        speedup_gate = "passed" if gate_passed else "FAILED"
+
+    report = {
+        "cpu_count": cpu_count,
+        "jobs_levels": jobs_levels,
+        "workloads": workloads,
+        "all_verdicts_match": all_match,
+        "speedup_gate": speedup_gate,
+    }
+    text = json.dumps(report, indent=2)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+    print(text)
+    return 0 if all_match and gate_passed else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -50,6 +50,15 @@ from repro.qed.equivalents import (
     verify_equivalences,
 )
 from repro.qed.mapping import RegisterPartition, MemoryPartition
+from repro.par import (
+    PortfolioConfig,
+    PortfolioSolver,
+    TaskPool,
+    check_frames_sharded,
+    check_properties_parallel,
+    prove_properties_parallel,
+    verify_equivalences_parallel,
+)
 from repro.core.flow import SqedFlow, SepeSqedFlow, pool_for_bug
 from repro.core.results import VerificationOutcome
 from repro.bmc.engine import BmcEngine, BmcSession
@@ -88,6 +97,13 @@ __all__ = [
     "verify_equivalences",
     "RegisterPartition",
     "MemoryPartition",
+    "PortfolioConfig",
+    "PortfolioSolver",
+    "TaskPool",
+    "check_frames_sharded",
+    "check_properties_parallel",
+    "prove_properties_parallel",
+    "verify_equivalences_parallel",
     "SqedFlow",
     "SepeSqedFlow",
     "pool_for_bug",

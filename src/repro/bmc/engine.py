@@ -76,6 +76,52 @@ class BmcResult:
         return None if self.trace is None else self.trace.length
 
 
+def load_frame_constraints(
+    unroller: Unroller, context: SolverContext, loaded: int, frame: int
+) -> int:
+    """Assert the global constraints of frames ``loaded..frame`` into ``context``.
+
+    Returns the new count of loaded frames.  Shared by the incremental
+    session and the sharded workers so the two paths cannot drift.
+    """
+    while loaded <= frame:
+        for constraint in unroller.constraints_at(loaded):
+            if constraint.is_const:
+                if constraint.const_value() == 0:
+                    raise BmcError("a global constraint is constantly false")
+                continue
+            context.add(constraint)
+        loaded += 1
+    return loaded
+
+
+def build_trace(
+    ts: TransitionSystem,
+    unroller: Unroller,
+    property_name: str,
+    model: dict[str, int],
+    last_frame: int,
+) -> Trace:
+    """Concretise a full bit-blasted model into a counterexample trace."""
+
+    def value_of(term: T.BV) -> int:
+        assignment = dict(model)
+        for var in free_variables(term):
+            assignment.setdefault(var.name or "", 0)
+        return evaluate(term, assignment)
+
+    trace = Trace(property_name=property_name)
+    for frame in range(0, last_frame + 1):
+        step = TraceStep(frame=frame)
+        for state in ts.states:
+            step.states[state.name] = value_of(unroller.state_term(state.name, frame))
+        for symbol in ts.inputs:
+            assert symbol.name is not None
+            step.inputs[symbol.name] = value_of(unroller.input_term(symbol.name, frame))
+        trace.steps.append(step)
+    return trace
+
+
 class BmcSession:
     """Incremental BMC over one persistent solver context.
 
@@ -117,15 +163,9 @@ class BmcSession:
     # ---------------------------------------------------------------- loading
 
     def _load_constraints(self, frame: int) -> None:
-        while self._constraints_loaded <= frame:
-            k = self._constraints_loaded
-            for constraint in self.unroller.constraints_at(k):
-                if constraint.is_const:
-                    if constraint.const_value() == 0:
-                        raise BmcError("a global constraint is constantly false")
-                    continue
-                self.context.add(constraint)
-            self._constraints_loaded += 1
+        self._constraints_loaded = load_frame_constraints(
+            self.unroller, self.context, self._constraints_loaded, frame
+        )
 
     # --------------------------------------------------------------- checking
 
@@ -202,26 +242,9 @@ class BmcSession:
     # ------------------------------------------------------------------ trace
 
     def _build_trace(self, model: dict[str, int], last_frame: int) -> Trace:
-        def value_of(term: T.BV) -> int:
-            assignment = dict(model)
-            for var in free_variables(term):
-                assignment.setdefault(var.name or "", 0)
-            return evaluate(term, assignment)
-
-        trace = Trace(property_name=self.property_name)
-        for frame in range(0, last_frame + 1):
-            step = TraceStep(frame=frame)
-            for state in self.ts.states:
-                step.states[state.name] = value_of(
-                    self.unroller.state_term(state.name, frame)
-                )
-            for symbol in self.ts.inputs:
-                assert symbol.name is not None
-                step.inputs[symbol.name] = value_of(
-                    self.unroller.input_term(symbol.name, frame)
-                )
-            trace.steps.append(step)
-        return trace
+        return build_trace(
+            self.ts, self.unroller, self.property_name, model, last_frame
+        )
 
 
 class BmcEngine:

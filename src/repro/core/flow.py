@@ -57,7 +57,14 @@ def pool_for_bug(
 
 
 class _BaseFlow:
-    """Shared machinery of the two flows."""
+    """Shared machinery of the two flows.
+
+    ``jobs`` controls parallel execution: with ``jobs > 1`` a single
+    :meth:`run` shards the BMC frames across worker processes
+    (:func:`repro.par.bmc.check_frames_sharded`) and :meth:`run_many`
+    distributes independent bug variants across workers.  ``jobs=1`` (the
+    default) is the plain sequential incremental path.
+    """
 
     method = "base"
 
@@ -67,11 +74,13 @@ class _BaseFlow:
         fifo_depth: int = 2,
         compare_memory: bool = True,
         backend: str = "cdcl",
+        jobs: int = 1,
     ):
         self.config = config
         self.fifo_depth = fifo_depth
         self.compare_memory = compare_memory
         self.backend = backend
+        self.jobs = jobs
 
     def build_model(self, bug: Optional[Bug] = None) -> QedVerificationModel:
         raise NotImplementedError
@@ -81,12 +90,34 @@ class _BaseFlow:
         bug: Optional[Bug] = None,
         bound: int = 12,
         conflict_budget: Optional[int] = None,
+        jobs: Optional[int] = None,
     ) -> VerificationOutcome:
-        """Build the verification model, run BMC and summarise the outcome."""
+        """Build the verification model, run BMC and summarise the outcome.
+
+        ``jobs`` overrides the flow-level knob for this run.  In sharded
+        mode (``jobs > 1``) the ``conflict_budget`` caps each frame's query
+        instead of the whole run — frames race, so a cumulative cap has no
+        sequential order to follow.
+        """
+        effective_jobs = self.jobs if jobs is None else jobs
         start = time.perf_counter()
         model = self.build_model(bug)
-        engine = BmcEngine(model.ts, backend=self.backend)
-        result = engine.check(model.property_name, bound=bound, conflict_budget=conflict_budget)
+        if effective_jobs == 1:
+            engine = BmcEngine(model.ts, backend=self.backend)
+            result = engine.check(
+                model.property_name, bound=bound, conflict_budget=conflict_budget
+            )
+        else:
+            from repro.par.bmc import check_frames_sharded
+
+            result = check_frames_sharded(
+                model.ts,
+                model.property_name,
+                bound=bound,
+                jobs=effective_jobs,
+                backend=self.backend,
+                conflict_budget=conflict_budget,
+            )
         elapsed = time.perf_counter() - start
         detected: Optional[bool]
         if result.holds is None:
@@ -102,6 +133,29 @@ class _BaseFlow:
             counterexample_length=result.counterexample_length,
             bmc_result=result,
         )
+
+    def run_many(
+        self,
+        bugs: Iterable[Optional[Bug]],
+        bound: int = 12,
+        conflict_budget: Optional[int] = None,
+        jobs: Optional[int] = None,
+    ) -> list[VerificationOutcome]:
+        """Verify independent bug variants, ``jobs`` at a time.
+
+        Results come back in input order; each variant runs the plain
+        sequential engine inside its worker, so per-variant verdicts are
+        identical to calling :meth:`run` in a loop.
+        """
+        from repro.par.pool import TaskPool
+
+        bug_list = list(bugs)
+        effective_jobs = self.jobs if jobs is None else jobs
+
+        def task(bug: Optional[Bug]) -> VerificationOutcome:
+            return self.run(bug, bound=bound, conflict_budget=conflict_budget, jobs=1)
+
+        return TaskPool(effective_jobs).map(task, bug_list)
 
 
 class SqedFlow(_BaseFlow):
@@ -136,12 +190,14 @@ class SepeSqedFlow(_BaseFlow):
         compare_memory: bool = True,
         num_temps: Optional[int] = None,
         backend: str = "cdcl",
+        jobs: int = 1,
     ):
         super().__init__(
             config,
             fifo_depth=fifo_depth,
             compare_memory=compare_memory,
             backend=backend,
+            jobs=jobs,
         )
         self.num_temps = num_temps
         if equivalents is None:

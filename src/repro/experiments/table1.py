@@ -16,6 +16,7 @@ from typing import Optional
 from repro.core.flow import SepeSqedFlow, SqedFlow, pool_for_bug
 from repro.core.results import VerificationOutcome
 from repro.isa.config import IsaConfig
+from repro.par.pool import TaskPool
 from repro.proc.bugs import Bug, single_instruction_bugs
 from repro.proc.config import ProcessorConfig
 from repro.qed.equivalents import default_equivalent_programs
@@ -44,6 +45,9 @@ class Table1Config:
     #: the harness fast.  An exhausted budget is reported as "-" (no bug trace
     #: found), matching the paper's Table 1 column for SQED.
     sqed_conflict_budget: int = 20_000
+    #: Rows (bugs) verified concurrently; each row is an independent pair of
+    #: flows, so the table shards perfectly.  ``0`` means one per CPU.
+    jobs: int = 1
 
 
 @dataclass
@@ -93,8 +97,7 @@ def run_table1(config: Table1Config | None = None) -> Table1Result:
         requested = {name for name in config.bug_names}
         bugs = [bug for bug in bugs if bug.name in requested]
 
-    result = Table1Result()
-    for bug in bugs:
+    def row_task(bug: Bug) -> tuple[VerificationOutcome, VerificationOutcome]:
         pool = pool_for_bug(bug, equivalents_all)
         proc_config = ProcessorConfig(isa=isa, supported_ops=pool)
         equivalents = {
@@ -108,6 +111,11 @@ def run_table1(config: Table1Config | None = None) -> Table1Result:
         sqed_outcome = sqed.run(
             bug, bound=config.sqed_bound, conflict_budget=config.sqed_conflict_budget
         )
+        return sepe_outcome, sqed_outcome
+
+    result = Table1Result()
+    outcomes = TaskPool(config.jobs).map(row_task, bugs)
+    for bug, (sepe_outcome, sqed_outcome) in zip(bugs, outcomes):
         result.rows.append(Table1Row(bug=bug, sepe=sepe_outcome, sqed=sqed_outcome))
     return result
 
@@ -118,9 +126,12 @@ def main() -> None:  # pragma: no cover - CLI entry point
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--full", action="store_true", help="run every Table 1 bug")
     parser.add_argument("--bugs", nargs="*", default=None)
+    parser.add_argument(
+        "--jobs", type=int, default=1, help="rows verified concurrently (0 = one per CPU)"
+    )
     args = parser.parse_args()
 
-    config = Table1Config(bug_names=list(QUICK_BUGS))
+    config = Table1Config(bug_names=list(QUICK_BUGS), jobs=args.jobs)
     if args.full:
         config.bug_names = None
     if args.bugs:

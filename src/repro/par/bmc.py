@@ -1,0 +1,238 @@
+"""Sharded bounded model checking and parallel property sweeps.
+
+Two independent axes of parallelism live here:
+
+* :func:`check_properties_parallel` / :func:`prove_properties_parallel` —
+  the *sweep* axis: independent properties (or the same property on
+  independent bug variants) each get their own incremental engine in their
+  own worker.  This is embarrassingly parallel and verdict-identical to
+  running the engines one after another.
+* :func:`check_frames_sharded` — the *depth* axis for a single property:
+  the frames ``0..bound`` are dealt round-robin to N workers, each worker
+  runs one incremental :class:`~repro.solve.context.SolverContext` over its
+  frames in ascending order and stops at its first violation, and the
+  parent returns the verdict of the *smallest* violated frame.  That
+  minimum is what the sequential engine reports too, so the verdict and
+  counterexample depth are deterministic and shard-count independent (the
+  trace contents of a SAT frame may differ — any satisfying model is a
+  valid counterexample).
+
+``conflict_budget`` in the sharded driver caps each frame's query
+individually (the sequential engine's budget is cumulative across a call —
+a cumulative cap is meaningless when frames race).  An undecided frame
+below the smallest violation makes the overall verdict inconclusive.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from typing import Iterable, Optional, Sequence
+
+from repro.bmc.engine import (
+    BmcEngine,
+    BmcResult,
+    BmcStats,
+    build_trace,
+    load_frame_constraints,
+)
+from repro.bmc.kinduction import KInductionEngine, KInductionResult
+from repro.errors import BmcError
+from repro.par.pool import TaskPool, resolve_jobs
+from repro.smt import terms as T
+from repro.solve.context import SolverContext
+from repro.ts.system import TransitionSystem
+from repro.ts.unroll import Unroller
+
+
+def check_properties_parallel(
+    ts: TransitionSystem,
+    property_names: Sequence[str],
+    bound: int,
+    jobs: Optional[int] = 1,
+    backend: str = "cdcl",
+    conflict_budget: Optional[int] = None,
+) -> dict[str, BmcResult]:
+    """Run one incremental BMC engine per property, ``jobs`` at a time."""
+    names = list(property_names)
+
+    def task(name: str) -> BmcResult:
+        return BmcEngine(ts, backend=backend).check(
+            name, bound=bound, conflict_budget=conflict_budget
+        )
+
+    results = TaskPool(jobs).map(task, names)
+    return dict(zip(names, results))
+
+
+def prove_properties_parallel(
+    ts: TransitionSystem,
+    property_names: Sequence[str],
+    max_k: int = 4,
+    jobs: Optional[int] = 1,
+    backend: str = "cdcl",
+    conflict_budget: Optional[int] = None,
+) -> dict[str, KInductionResult]:
+    """Run one k-induction engine per property, ``jobs`` at a time."""
+    names = list(property_names)
+
+    def task(name: str) -> KInductionResult:
+        return KInductionEngine(ts, backend=backend).prove(
+            name, max_k=max_k, conflict_budget=conflict_budget
+        )
+
+    results = TaskPool(jobs).map(task, names)
+    return dict(zip(names, results))
+
+
+def _check_frame_shard(
+    ts: TransitionSystem,
+    property_name: str,
+    frames: Iterable[int],
+    backend: str,
+    conflict_budget: Optional[int],
+    best_violation,
+) -> dict:
+    """Worker: decide a set of frames on one incremental context.
+
+    ``best_violation`` is a cross-shard ``multiprocessing.Value`` holding
+    the smallest violated frame found so far by *any* shard.  Frames at or
+    beyond it cannot improve the minimum, so they are skipped — that is the
+    sharded equivalent of the sequential engine stopping at its first
+    violation, and it keeps a shallow counterexample from waiting on the
+    deepest (hardest) queries of the other shards.
+
+    Returns a picklable summary: per-frame verdicts, the first violated
+    frame with its trace, the first undecided frame, and solver counters.
+    """
+    frames = sorted(frames)
+    unroller = Unroller(ts)
+    context = SolverContext(backend=backend)
+    loaded = 0
+    violated: Optional[int] = None
+    undecided: Optional[int] = None
+    trace = None
+    solver_calls = 0
+    decided: list[int] = []
+    frame_seconds: list[tuple[int, float]] = []
+    for frame in frames:
+        if frame >= best_violation.value:
+            break
+        loaded = load_frame_constraints(unroller, context, loaded, frame)
+        frame_start = time.perf_counter()
+        violation = T.bv_not(unroller.property_at(property_name, frame))
+        if violation.is_const and violation.const_value() == 0:
+            decided.append(frame)
+            frame_seconds.append((frame, time.perf_counter() - frame_start))
+            continue
+        solver_calls += 1
+        result = context.check(
+            assumptions=[violation],
+            conflict_budget=conflict_budget,
+            full_model=True,
+        )
+        if result.satisfiable is None:
+            # Mirror the sequential engine: undecided frames stay out of the
+            # per-frame timings so they align with the decided-frame count.
+            undecided = frame
+            break
+        decided.append(frame)
+        frame_seconds.append((frame, time.perf_counter() - frame_start))
+        if result.satisfiable:
+            violated = frame
+            trace = build_trace(ts, unroller, property_name, result.model, frame)
+            with best_violation.get_lock():
+                if frame < best_violation.value:
+                    best_violation.value = frame
+            break
+    return {
+        "decided": decided,
+        "violated": violated,
+        "undecided": undecided,
+        "trace": trace,
+        "solver_calls": solver_calls,
+        "frame_seconds": frame_seconds,
+        "solver_stats": context.stats.copy(),
+    }
+
+
+def check_frames_sharded(
+    ts: TransitionSystem,
+    property_name: str,
+    bound: int,
+    jobs: Optional[int] = 1,
+    backend: str = "cdcl",
+    start_frame: int = 0,
+    conflict_budget: Optional[int] = None,
+) -> BmcResult:
+    """BMC one property to ``bound``, frames dealt round-robin to workers."""
+    if bound < 0:
+        raise BmcError(f"bound must be non-negative, got {bound}")
+    jobs = resolve_jobs(jobs)
+    if jobs == 1:
+        return BmcEngine(ts, start_frame=start_frame, backend=backend).check(
+            property_name, bound=bound, conflict_budget=conflict_budget
+        )
+    ts.validate()
+    if property_name not in ts.properties:
+        raise BmcError(f"unknown property {property_name!r}")
+    try:
+        fork_ctx = multiprocessing.get_context("fork")
+    except ValueError:
+        # No fork on this platform: the sequential engine is always correct.
+        return BmcEngine(ts, start_frame=start_frame, backend=backend).check(
+            property_name, bound=bound, conflict_budget=conflict_budget
+        )
+    frames = list(range(start_frame, bound + 1))
+    shards = [frames[i::jobs] for i in range(jobs)]
+    shards = [shard for shard in shards if shard]
+    # Shared minimum-violated-frame; fork-inherited by every shard worker.
+    best_violation = fork_ctx.Value("q", bound + 1)
+
+    def task(shard: list[int]) -> dict:
+        return _check_frame_shard(
+            ts, property_name, shard, backend, conflict_budget, best_violation
+        )
+
+    summaries = TaskPool(len(shards)).map(task, shards)
+
+    stats = BmcStats()
+    merged_frame_seconds: list[tuple[int, float]] = []
+    violations: list[tuple[int, object]] = []
+    undecided_frames: list[int] = []
+    for summary in summaries:
+        stats.solver_calls += summary["solver_calls"]
+        stats.frames_checked += len(summary["decided"])
+        merged_frame_seconds.extend(summary["frame_seconds"])
+        stats.solver_stats.merge(summary["solver_stats"])
+        if summary["violated"] is not None:
+            violations.append((summary["violated"], summary["trace"]))
+        if summary["undecided"] is not None:
+            undecided_frames.append(summary["undecided"])
+    stats.per_frame_seconds = [
+        seconds for _frame, seconds in sorted(merged_frame_seconds)
+    ]
+
+    first_violation = min(violations, default=None, key=lambda pair: pair[0])
+    first_undecided = min(undecided_frames, default=None)
+    if first_violation is not None and (
+        first_undecided is None or first_violation[0] < first_undecided
+    ):
+        frame, trace = first_violation
+        return BmcResult(
+            holds=False,
+            bound=frame,
+            property_name=property_name,
+            trace=trace,
+            stats=stats,
+        )
+    if first_undecided is not None:
+        return BmcResult(
+            holds=None,
+            bound=first_undecided,
+            property_name=property_name,
+            stats=stats,
+        )
+    return BmcResult(
+        holds=True, bound=bound, property_name=property_name, stats=stats
+    )

@@ -1,0 +1,199 @@
+"""Portfolio solving: race complementary solver configurations on one query.
+
+CDCL behaviour is notoriously sensitive to its heuristic parameters — the
+branching phase default, the VSIDS decay rate, the restart cadence — and no
+single configuration dominates across SAT *and* UNSAT queries.  A portfolio
+exploits that: the same query runs under N configurations concurrently, the
+first decided verdict wins, and the losers are cancelled.  The verdict is
+deterministic (every sound configuration agrees on SAT/UNSAT); the winning
+configuration and the model of a SAT answer may vary run to run.
+
+Queries travel to the racing processes by fork inheritance (the whole
+hash-consed term graph is shared copy-on-write), so racing costs one
+``fork`` per configuration, not a re-encode.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import queue as queue_module
+import time
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Sequence
+
+from repro.par.pool import ParError, resolve_jobs
+from repro.solve.backend import CdclBackend, create_backend, is_default_backend
+
+
+@dataclass(frozen=True)
+class PortfolioConfig:
+    """One racing entry: a backend spec plus CDCL tuning knobs.
+
+    The tuning knobs only apply to the builtin ``cdcl`` backend; for any
+    other spec (e.g. ``dimacs:kissat``) the spec string is used as-is.
+    """
+
+    name: str
+    backend: str = "cdcl"
+    var_decay: float = 0.95
+    default_phase: bool = False
+    restart_interval: int = 100
+
+    def build_backend(self):
+        if is_default_backend(self.backend):
+            return CdclBackend(
+                var_decay=self.var_decay,
+                default_phase=self.default_phase,
+                restart_interval=self.restart_interval,
+            )
+        return create_backend(self.backend)
+
+
+#: Complementary default configurations (phase polarity, decay, restarts).
+DEFAULT_PORTFOLIO: tuple[PortfolioConfig, ...] = (
+    PortfolioConfig("cdcl-baseline"),
+    PortfolioConfig("cdcl-positive-phase", default_phase=True),
+    PortfolioConfig("cdcl-slow-decay", var_decay=0.99),
+    PortfolioConfig("cdcl-rapid-restarts", restart_interval=30),
+)
+
+
+@dataclass
+class PortfolioResult:
+    """First decided verdict of the race."""
+
+    satisfiable: Optional[bool]
+    model: dict[str, int] = field(default_factory=dict)
+    winner: Optional[str] = None
+    elapsed_seconds: float = 0.0
+    racers: int = 0
+
+    def __bool__(self) -> bool:
+        return bool(self.satisfiable)
+
+
+def _race_worker(config, assertions, assumptions, need_model, results, name):
+    from repro.solve.context import SolverContext
+
+    started = time.perf_counter()
+    context = SolverContext(backend=config.build_backend())
+    for term in assertions:
+        context.add(term)
+    result = context.check(assumptions=assumptions, need_model=need_model)
+    results.put(
+        (name, result.satisfiable, dict(result.model), time.perf_counter() - started)
+    )
+
+
+class PortfolioSolver:
+    """Race N solver configurations on single QF_BV queries."""
+
+    def __init__(
+        self,
+        configs: Optional[Sequence[PortfolioConfig]] = None,
+        jobs: Optional[int] = None,
+        poll_interval: float = 0.02,
+    ):
+        self.configs = tuple(configs) if configs is not None else DEFAULT_PORTFOLIO
+        if not self.configs:
+            raise ParError("a portfolio needs at least one configuration")
+        names = [config.name for config in self.configs]
+        if len(set(names)) != len(names):
+            raise ParError(f"portfolio configuration names must be unique: {names}")
+        # jobs=None races every configuration (capped at the CPU count).
+        self.jobs = min(resolve_jobs(jobs), len(self.configs))
+        self.poll_interval = poll_interval
+
+    def check(
+        self,
+        assertions: Iterable,
+        assumptions: Iterable = (),
+        need_model: bool = True,
+    ) -> PortfolioResult:
+        """Decide ``assertions`` (+ per-query ``assumptions``); first verdict wins."""
+        assertions = list(assertions)
+        assumptions = list(assumptions)
+        racers = self.configs[: self.jobs]
+        if len(racers) == 1:
+            return self._check_sequential(racers[0], assertions, assumptions, need_model)
+        try:
+            ctx = multiprocessing.get_context("fork")
+        except ValueError:
+            return self._check_sequential(racers[0], assertions, assumptions, need_model)
+        started = time.perf_counter()
+        results = ctx.Queue()
+        processes = {}
+        for config in racers:
+            process = ctx.Process(
+                target=_race_worker,
+                args=(config, assertions, assumptions, need_model, results, config.name),
+                daemon=True,
+            )
+            process.start()
+            processes[config.name] = process
+        undecided: Optional[str] = None
+        reported = 0
+        try:
+            while True:
+                try:
+                    name, satisfiable, model, _seconds = results.get(
+                        timeout=self.poll_interval
+                    )
+                except queue_module.Empty:
+                    if any(p.is_alive() for p in processes.values()):
+                        continue
+                    # All racers exited.  One may have flushed its result
+                    # right before dying, so drain without blocking.
+                    try:
+                        name, satisfiable, model, _seconds = results.get_nowait()
+                    except queue_module.Empty:
+                        if undecided is not None:
+                            # Every surviving racer gave up: report the
+                            # undecided verdict rather than a crash.
+                            return PortfolioResult(
+                                satisfiable=None,
+                                winner=undecided,
+                                elapsed_seconds=time.perf_counter() - started,
+                                racers=len(racers),
+                            )
+                        raise ParError(
+                            "every portfolio configuration crashed without "
+                            "reporting a verdict"
+                        ) from None
+                reported += 1
+                if satisfiable is None:
+                    # This racer gave up; let the others keep going unless
+                    # every racer has now reported an undecided verdict.
+                    undecided = name
+                    if reported < len(racers):
+                        continue
+                return PortfolioResult(
+                    satisfiable=satisfiable,
+                    model=model,
+                    winner=name,
+                    elapsed_seconds=time.perf_counter() - started,
+                    racers=len(racers),
+                )
+        finally:
+            for process in processes.values():
+                if process.is_alive():
+                    process.terminate()
+            for process in processes.values():
+                process.join(timeout=1.0)
+
+    @staticmethod
+    def _check_sequential(config, assertions, assumptions, need_model) -> PortfolioResult:
+        from repro.solve.context import SolverContext
+
+        started = time.perf_counter()
+        context = SolverContext(backend=config.build_backend())
+        for term in assertions:
+            context.add(term)
+        result = context.check(assumptions=assumptions, need_model=need_model)
+        return PortfolioResult(
+            satisfiable=result.satisfiable,
+            model=dict(result.model),
+            winner=config.name,
+            elapsed_seconds=time.perf_counter() - started,
+            racers=1,
+        )

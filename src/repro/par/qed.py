@@ -1,0 +1,42 @@
+"""Sharded batch QED equivalence checking.
+
+Every equivalent program is checked against its specification by an
+independent UNSAT query, so a batch of programs shards perfectly: worker
+``i`` proves its programs on a fresh :class:`~repro.solve.context.SolverContext`
+each.  With ``jobs=1`` this delegates to the sequential
+:func:`~repro.qed.equivalents.verify_equivalences` (one shared incremental
+context), so the degenerate case is *the* sequential path, not a
+reimplementation of it — and the parallel result is required (and tested)
+to be equal to it key for key.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional
+
+from repro.par.pool import TaskPool, resolve_jobs
+from repro.qed.equivalents import verify_equivalence, verify_equivalences
+from repro.synth.program import SynthesizedProgram
+
+
+def verify_equivalences_parallel(
+    programs: Mapping[str, SynthesizedProgram],
+    jobs: Optional[int] = 1,
+    pool: Optional[TaskPool] = None,
+) -> dict[str, bool]:
+    """Check a table of equivalent programs across ``jobs`` workers.
+
+    Returns the same ``{name: verdict}`` dict as the sequential
+    :func:`~repro.qed.equivalents.verify_equivalences`, in the same order.
+    """
+    names = list(programs)
+    if pool is None:
+        if resolve_jobs(jobs) == 1:
+            return verify_equivalences(programs)
+        pool = TaskPool(jobs)
+
+    def task(name: str) -> bool:
+        return verify_equivalence(programs[name])
+
+    verdicts = pool.map(task, names)
+    return dict(zip(names, verdicts))

@@ -124,7 +124,17 @@ class SatSolver:
         assert result.satisfiable
     """
 
-    def __init__(self, cnf: CNF | None = None):
+    def __init__(
+        self,
+        cnf: CNF | None = None,
+        var_decay: float = 0.95,
+        default_phase: bool = False,
+        restart_interval: int = 100,
+    ):
+        if not (0.0 < var_decay <= 1.0):
+            raise SatError(f"var_decay must be in (0, 1], got {var_decay}")
+        if restart_interval < 1:
+            raise SatError(f"restart_interval must be >= 1, got {restart_interval}")
         self._num_vars = 0
         self._clauses: list[_Clause] = []
         self._learned: list[_Clause] = []
@@ -133,10 +143,12 @@ class SatSolver:
         self._assign: list[int] = [_UNASSIGNED]
         self._level: list[int] = [0]
         self._reason: list[Optional[_Clause]] = [None]
-        self._phase: list[bool] = [False]
+        self._default_phase = default_phase
+        self._restart_interval = restart_interval
+        self._phase: list[bool] = [default_phase]
         self._activity: list[float] = [0.0]
         self._var_inc = 1.0
-        self._var_decay = 0.95
+        self._var_decay = var_decay
         self._cla_inc = 1.0
         self._cla_decay = 0.999
         self._order_heap: list[tuple[float, int]] = []
@@ -162,7 +174,7 @@ class SatSolver:
             self._assign.append(_UNASSIGNED)
             self._level.append(0)
             self._reason.append(None)
-            self._phase.append(False)
+            self._phase.append(self._default_phase)
             self._activity.append(0.0)
             self._watches.append([])
             self._watches.append([])
@@ -451,7 +463,7 @@ class SatSolver:
             return SatResult(False, stats=self.stats)
 
         restart_count = 0
-        conflicts_until_restart = 100 * _luby(restart_count + 1)
+        conflicts_until_restart = self._restart_interval * _luby(restart_count + 1)
         conflicts_seen = 0
 
         while True:
@@ -481,7 +493,9 @@ class SatSolver:
                     restart_count += 1
                     self.stats.restarts += 1
                     conflicts_seen = 0
-                    conflicts_until_restart = 100 * _luby(restart_count + 1)
+                    conflicts_until_restart = self._restart_interval * _luby(
+                        restart_count + 1
+                    )
                     self._backtrack(0)
                     self._reduce_db()
                 continue

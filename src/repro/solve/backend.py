@@ -71,8 +71,17 @@ class CdclBackend:
 
     name = "cdcl"
 
-    def __init__(self) -> None:
-        self._solver = SatSolver()
+    def __init__(
+        self,
+        var_decay: float = 0.95,
+        default_phase: bool = False,
+        restart_interval: int = 100,
+    ) -> None:
+        self._solver = SatSolver(
+            var_decay=var_decay,
+            default_phase=default_phase,
+            restart_interval=restart_interval,
+        )
 
     @property
     def stats(self) -> SolverStats:

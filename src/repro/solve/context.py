@@ -55,6 +55,10 @@ class BVResult:
     num_clauses: int = 0
     num_vars: int = 0
     stats: SolverStats = field(default_factory=SolverStats)
+    #: False when the check skipped model extraction (``need_model=False``).
+    #: Kept separate from ``model`` being empty: a formula without free
+    #: variables legitimately has an empty model.
+    has_model: bool = True
 
     def __bool__(self) -> bool:
         return bool(self.satisfiable)
@@ -65,6 +69,11 @@ class BVResult:
 
         if not self.satisfiable:
             raise SmtError("no model available: formula not satisfiable")
+        if not self.has_model:
+            raise SmtError(
+                "no model available: the check was made with need_model=False; "
+                "re-check with need_model=True to evaluate terms"
+            )
         assignment = dict(self.model)
         for var in free_variables(term):
             assignment.setdefault(var.name or "", 0)
@@ -302,6 +311,7 @@ class SolverContext:
             num_clauses=self.num_clauses,
             num_vars=self.num_vars,
             stats=spent,
+            has_model=need_model,
         )
 
     def _extract_model(

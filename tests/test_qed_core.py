@@ -203,7 +203,10 @@ class TestFlows:
         outcome = SqedFlow(config).run(bug, bound=4, conflict_budget=3000)
         assert outcome.detected is not True
 
+    @pytest.mark.slow
     def test_both_flows_detect_forwarding_bug(self, isa, equivalents):
+        """Tier-2: the full-pool forwarding-bug check dominates suite wall
+        time (>240s); the fast reduced variant below covers tier-1."""
         bug = get_bug("multi_no_forward_ex_rs1")
         pool = pool_for_bug(bug, equivalents, extra_ops=bug.recommended_pool)
         config = ProcessorConfig(isa=isa, supported_ops=pool)
@@ -211,6 +214,17 @@ class TestFlows:
         sepe = SepeSqedFlow(config).run(bug, bound=8)
         assert sqed.detected is True
         assert sepe.detected is True
+
+    def test_forwarding_bug_detected_fast(self):
+        """Tier-1 variant: a 4-bit datapath and a two-op pool expose the
+        missing EX-stage rs1 forwarding within bound 7 in a few seconds."""
+        bug = get_bug("multi_no_forward_ex_rs1")
+        isa = IsaConfig.small(xlen=4, num_regs=4)
+        config = ProcessorConfig(isa=isa, supported_ops=("ADD", "SUB"))
+        outcome = SqedFlow(config).run(bug, bound=7)
+        assert outcome.detected is True
+        assert outcome.counterexample_length is not None
+        assert outcome.counterexample_length <= 8
 
     def test_trace_is_replayable(self, isa, equivalents):
         """The counterexample assigns a QED-ready frame that is inconsistent."""

@@ -97,6 +97,35 @@ class TestGateCache:
         assert len(blaster.cnf.clauses) == clauses_after
 
 
+class TestModelAvailability:
+    def test_need_model_false_refuses_value_of(self):
+        """A verdict-only check must not silently evaluate an all-zeros model."""
+        x, y = _vars("nm1")
+        ctx = SolverContext()
+        ctx.add(T.bv_eq(x, T.bv_const(3, W)))
+        ctx.add(T.bv_ult(x, y))
+        result = ctx.check(need_model=False)
+        assert result.satisfiable is True
+        assert result.has_model is False
+        with pytest.raises(SmtError, match="need_model"):
+            result.value_of(x)
+
+    def test_need_model_true_evaluates(self):
+        x, _ = _vars("nm2")
+        ctx = SolverContext()
+        ctx.add(T.bv_eq(x, T.bv_const(3, W)))
+        result = ctx.check()
+        assert result.has_model is True
+        assert result.value_of(T.bv_add(x, x)) == 6
+
+    def test_empty_model_on_variable_free_formula_still_evaluates(self):
+        ctx = SolverContext()
+        ctx.add(T.bv_eq(T.bv_const(1, W), T.bv_const(1, W)))
+        result = ctx.check()
+        assert result.satisfiable is True and result.model == {}
+        assert result.value_of(T.bv_const(4, W)) == 4
+
+
 class TestScopes:
     def test_push_pop_restores_satisfiability(self):
         x, _ = _vars("sc1")
