@@ -62,7 +62,7 @@ from repro.par import (
 from repro.core.flow import SqedFlow, SepeSqedFlow, pool_for_bug
 from repro.core.results import VerificationOutcome
 from repro.bmc.engine import BmcEngine, BmcSession
-from repro.solve import SolverContext
+from repro.solve import EncodingStats, PipelineConfig, SolverContext, default_opt_level
 from repro.ts.system import TransitionSystem
 from repro.btor import write_btor2, parse_btor2
 
@@ -110,7 +110,10 @@ __all__ = [
     "VerificationOutcome",
     "BmcEngine",
     "BmcSession",
+    "EncodingStats",
+    "PipelineConfig",
     "SolverContext",
+    "default_opt_level",
     "TransitionSystem",
     "write_btor2",
     "parse_btor2",

@@ -28,6 +28,8 @@ from repro.smt import terms as T
 from repro.smt.evaluator import evaluate, free_variables
 from repro.solve.backend import is_default_backend
 from repro.solve.context import SolverContext
+from repro.solve.pipeline import EncodingStats, PipelineConfig
+from repro.ts.coi import CoiReduction, reduce_to_property_cone
 from repro.ts.system import TransitionSystem
 from repro.ts.unroll import Unroller
 from repro.bmc.trace import Trace, TraceStep
@@ -42,6 +44,9 @@ class BmcStats:
     elapsed_seconds: float = 0.0
     per_frame_seconds: list[float] = field(default_factory=list)
     solver_stats: SolverStats = field(default_factory=SolverStats)
+    #: Compilation-pipeline counters (AIG size, CNF before/after
+    #: preprocessing, cone-of-influence reduction) of the session's context.
+    encoding: EncodingStats = field(default_factory=EncodingStats)
 
     def copy(self) -> "BmcStats":
         """A detached snapshot (lists and nested stats copied)."""
@@ -49,6 +54,7 @@ class BmcStats:
             self,
             per_frame_seconds=list(self.per_frame_seconds),
             solver_stats=self.solver_stats.copy(),
+            encoding=self.encoding.copy(),
         )
 
 
@@ -95,14 +101,42 @@ def load_frame_constraints(
     return loaded
 
 
+def prepare_property_system(
+    ts: TransitionSystem,
+    property_name: str,
+    pipeline: PipelineConfig,
+) -> tuple[TransitionSystem, Optional[CoiReduction]]:
+    """The system to unroll for ``property_name`` under ``pipeline``.
+
+    At ``opt_level >= 1`` the transition system is restricted to the
+    property's cone of influence; the returned reduction (``None`` when
+    nothing was dropped or COI is off) carries what a trace builder needs to
+    reconstruct the dropped signals.  Shared by the incremental session and
+    the sharded workers so the two paths cannot drift.
+    """
+    if not pipeline.coi:
+        return ts, None
+    reduction = reduce_to_property_cone(ts, property_name)
+    if not reduction.reduced:
+        return ts, None
+    return reduction.ts, reduction
+
+
 def build_trace(
     ts: TransitionSystem,
     unroller: Unroller,
     property_name: str,
     model: dict[str, int],
     last_frame: int,
+    reduction: Optional[CoiReduction] = None,
 ) -> Trace:
-    """Concretise a full bit-blasted model into a counterexample trace."""
+    """Concretise a full bit-blasted model into a counterexample trace.
+
+    ``ts`` is the *original* system; when ``reduction`` is given, the
+    unroller only covers the cone, and the dropped signals are reconstructed
+    by forward simulation (dropped inputs read 0 — they are unconstrained,
+    so any value yields a consistent run).
+    """
 
     def value_of(term: T.BV) -> int:
         assignment = dict(model)
@@ -110,14 +144,36 @@ def build_trace(
             assignment.setdefault(var.name or "", 0)
         return evaluate(term, assignment)
 
+    dropped_states: set[str] = set()
+    dropped_inputs: set[str] = set()
+    if reduction is not None and reduction.reduced:
+        dropped_states = set(reduction.dropped_states)
+        dropped_inputs = set(reduction.dropped_inputs)
+
     trace = Trace(property_name=property_name)
+    previous: Optional[dict[str, int]] = None
     for frame in range(0, last_frame + 1):
         step = TraceStep(frame=frame)
         for state in ts.states:
-            step.states[state.name] = value_of(unroller.state_term(state.name, frame))
+            if state.name not in dropped_states:
+                step.states[state.name] = value_of(
+                    unroller.state_term(state.name, frame)
+                )
         for symbol in ts.inputs:
             assert symbol.name is not None
-            step.inputs[symbol.name] = value_of(unroller.input_term(symbol.name, frame))
+            if symbol.name in dropped_inputs:
+                step.inputs[symbol.name] = 0
+            else:
+                step.inputs[symbol.name] = value_of(
+                    unroller.input_term(symbol.name, frame)
+                )
+        if dropped_states:
+            for state in ts.states:
+                if state.name in dropped_states:
+                    step.states[state.name] = reduction.replay_state(
+                        state, frame, previous, model
+                    )
+        previous = {**step.states, **step.inputs}
         trace.steps.append(step)
     return trace
 
@@ -138,6 +194,7 @@ class BmcSession:
         start_frame: int = 0,
         backend: str = "cdcl",
         context: Optional[SolverContext] = None,
+        opt_level: "PipelineConfig | int | None" = None,
     ):
         ts.validate()
         if property_name not in ts.properties:
@@ -145,13 +202,31 @@ class BmcSession:
         self.ts = ts
         self.property_name = property_name
         self.start_frame = start_frame
-        self.unroller = Unroller(ts)
         if context is not None and not is_default_backend(backend):
             raise BmcError(
                 "pass either a backend spec or an explicit context, not both: "
                 "a supplied context already carries its own backend"
             )
-        self.context = context if context is not None else SolverContext(backend=backend)
+        if context is not None and opt_level is not None:
+            raise BmcError(
+                "pass either an opt_level or an explicit context, not both: "
+                "a supplied context already carries its pipeline config"
+            )
+        if context is not None:
+            self.pipeline = context.pipeline
+        else:
+            self.pipeline = PipelineConfig.resolve(opt_level)
+        # Cone-of-influence reduction: unroll (and therefore encode) only
+        # the state and logic the checked property can observe.
+        reduced_ts, self.reduction = prepare_property_system(
+            ts, property_name, self.pipeline
+        )
+        self.unroller = Unroller(reduced_ts)
+        self.context = (
+            context
+            if context is not None
+            else SolverContext(backend=backend, opt_level=self.pipeline)
+        )
         # Solver work is accumulated per extend_to call, so queries a shared
         # context serves before or between calls are never attributed to
         # this session.
@@ -166,6 +241,48 @@ class BmcSession:
         self._constraints_loaded = load_frame_constraints(
             self.unroller, self.context, self._constraints_loaded, frame
         )
+
+    # --------------------------------------------------------------- encoding
+
+    def encode_to(self, bound: int) -> "EncodingStats":
+        """Encode every frame up to ``bound`` without solving anything.
+
+        Loads the frame constraints and blasts each frame's property
+        violation through the full compilation pipeline (including
+        preprocessing and assumption-variable restoration), exactly as
+        :meth:`extend_to` would, but never queries the SAT backend.  Used
+        to measure formula sizes on bounds whose queries would be
+        expensive to actually decide; the returned stats match what a real
+        frame sweep would have fed the backend.  Mixing with
+        :meth:`extend_to` on the same session is fine — the context is
+        shared and nothing is encoded twice.
+        """
+        if bound < 0:
+            raise BmcError(f"bound must be non-negative, got {bound}")
+        for frame in range(0, bound + 1):
+            self._load_constraints(frame)
+            violation = T.bv_not(
+                self.unroller.property_at(self.property_name, frame)
+            )
+            if violation.is_const and violation.const_value() == 0:
+                # Mirror extend_to: a constant-true property needs no query,
+                # and deferring the sync keeps the preprocessing batch
+                # boundaries — and therefore the clause counts — identical
+                # to the solving path.
+                continue
+            self.context.encode(assumptions=[violation])
+        return self._encoding_snapshot()
+
+    def _encoding_snapshot(self) -> "EncodingStats":
+        """Context encoding stats with this session's COI numbers patched in."""
+        stats = self.context.encoding_stats()
+        if self.reduction is not None:
+            stats.coi_states_kept = len(self.reduction.kept_states)
+            stats.coi_states_dropped = len(self.reduction.dropped_states)
+            stats.coi_state_bits_dropped = self.reduction.dropped_state_bits
+        else:
+            stats.coi_states_kept = len(self.ts.states)
+        return stats
 
     # --------------------------------------------------------------- checking
 
@@ -189,6 +306,7 @@ class BmcSession:
             stats.elapsed_seconds += time.perf_counter() - start_time
             self._session_solver_stats.merge(self.context.stats.since(stats_origin))
             stats.solver_stats = self._session_solver_stats
+            stats.encoding = self._encoding_snapshot()
             # Hand each result a detached snapshot: the session keeps
             # accumulating into its own stats on later extend_to calls.
             return BmcResult(
@@ -243,7 +361,12 @@ class BmcSession:
 
     def _build_trace(self, model: dict[str, int], last_frame: int) -> Trace:
         return build_trace(
-            self.ts, self.unroller, self.property_name, model, last_frame
+            self.ts,
+            self.unroller,
+            self.property_name,
+            model,
+            last_frame,
+            reduction=self.reduction,
         )
 
 
@@ -255,11 +378,13 @@ class BmcEngine:
         ts: TransitionSystem,
         start_frame: int = 0,
         backend: str = "cdcl",
+        opt_level: "PipelineConfig | int | None" = None,
     ):
         ts.validate()
         self.ts = ts
         self.start_frame = start_frame
         self.backend = backend
+        self.opt_level = opt_level
 
     def session(self, property_name: str) -> BmcSession:
         """A fresh incremental session for ``property_name``."""
@@ -268,6 +393,7 @@ class BmcEngine:
             property_name,
             start_frame=self.start_frame,
             backend=self.backend,
+            opt_level=self.opt_level,
         )
 
     def check(

@@ -24,12 +24,13 @@ import time
 from dataclasses import dataclass, field
 from typing import Optional
 
-from repro.bmc.engine import BmcResult, BmcSession
+from repro.bmc.engine import BmcResult, BmcSession, prepare_property_system
 from repro.errors import BmcError
 from repro.sat.solver import SolverStats
 from repro.smt import terms as T
 from repro.smt.evaluator import substitute
 from repro.solve.context import SolverContext
+from repro.solve.pipeline import PipelineConfig
 from repro.ts.system import TransitionSystem
 
 
@@ -48,28 +49,36 @@ class KInductionResult:
 class KInductionEngine:
     """Prove safety properties by k-induction."""
 
-    def __init__(self, ts: TransitionSystem, backend: str = "cdcl"):
+    def __init__(
+        self,
+        ts: TransitionSystem,
+        backend: str = "cdcl",
+        opt_level: "PipelineConfig | int | None" = None,
+    ):
         ts.validate()
         self.ts = ts
         self.backend = backend
+        self.pipeline = PipelineConfig.resolve(opt_level)
 
-    def _initial_frame(self) -> dict:
+    @staticmethod
+    def _initial_frame(ts: TransitionSystem) -> dict:
         """Frame map for a fully symbolic state (no init)."""
         mapping: dict = {}
-        for state in self.ts.states:
+        for state in ts.states:
             mapping[state.symbol] = T.fresh_var(f"ind_{state.name}@0", state.width)
-        for symbol in self.ts.inputs:
+        for symbol in ts.inputs:
             mapping[symbol] = T.fresh_var(f"ind_{symbol.name}@0", symbol.width)
         return mapping
 
-    def _extend_frames(self, frames: list[dict]) -> None:
+    @staticmethod
+    def _extend_frames(ts: TransitionSystem, frames: list[dict]) -> None:
         """Append the successor of the last frame (fresh inputs, stepped states)."""
         k = len(frames)
         prev = frames[k - 1]
         new_map: dict = {}
-        for symbol in self.ts.inputs:
+        for symbol in ts.inputs:
             new_map[symbol] = T.fresh_var(f"ind_{symbol.name}@{k}", symbol.width)
-        for state in self.ts.states:
+        for state in ts.states:
             assert state.next is not None
             new_map[state.symbol] = substitute(state.next, prev)
         frames.append(new_map)
@@ -86,12 +95,20 @@ class KInductionEngine:
         start = time.perf_counter()
         prop = self.ts.properties[property_name]
 
+        # The inductive step only needs the property's cone of influence;
+        # the base session applies the same reduction internally.
+        step_ts, _reduction = prepare_property_system(
+            self.ts, property_name, self.pipeline
+        )
+
         # One incremental session for every base case, one persistent context
         # for every inductive step.
-        base_session = BmcSession(self.ts, property_name, backend=self.backend)
-        step_ctx = SolverContext(backend=self.backend)
-        frames = [self._initial_frame()]
-        for constraint in self.ts.constraints:
+        base_session = BmcSession(
+            self.ts, property_name, backend=self.backend, opt_level=self.pipeline
+        )
+        step_ctx = SolverContext(backend=self.backend, opt_level=self.pipeline)
+        frames = [self._initial_frame(step_ts)]
+        for constraint in step_ts.constraints:
             step_ctx.add(substitute(constraint, frames[0]))
 
         for k in range(1, max_k + 1):
@@ -120,8 +137,8 @@ class KInductionEngine:
             # frame, permanently assert P at frame k-1 (sound for all later
             # depths), and assume the violation at frame k for this query
             # only.
-            self._extend_frames(frames)
-            for constraint in self.ts.constraints:
+            self._extend_frames(step_ts, frames)
+            for constraint in step_ts.constraints:
                 step_ctx.add(substitute(constraint, frames[k]))
             step_ctx.add(substitute(prop, frames[k - 1]))
             result = step_ctx.check(

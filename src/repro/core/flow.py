@@ -75,12 +75,14 @@ class _BaseFlow:
         compare_memory: bool = True,
         backend: str = "cdcl",
         jobs: int = 1,
+        opt_level: Optional[int] = None,
     ):
         self.config = config
         self.fifo_depth = fifo_depth
         self.compare_memory = compare_memory
         self.backend = backend
         self.jobs = jobs
+        self.opt_level = opt_level
 
     def build_model(self, bug: Optional[Bug] = None) -> QedVerificationModel:
         raise NotImplementedError
@@ -103,7 +105,7 @@ class _BaseFlow:
         start = time.perf_counter()
         model = self.build_model(bug)
         if effective_jobs == 1:
-            engine = BmcEngine(model.ts, backend=self.backend)
+            engine = BmcEngine(model.ts, backend=self.backend, opt_level=self.opt_level)
             result = engine.check(
                 model.property_name, bound=bound, conflict_budget=conflict_budget
             )
@@ -117,6 +119,7 @@ class _BaseFlow:
                 jobs=effective_jobs,
                 backend=self.backend,
                 conflict_budget=conflict_budget,
+                opt_level=self.opt_level,
             )
         elapsed = time.perf_counter() - start
         detected: Optional[bool]
@@ -191,6 +194,7 @@ class SepeSqedFlow(_BaseFlow):
         num_temps: Optional[int] = None,
         backend: str = "cdcl",
         jobs: int = 1,
+        opt_level: Optional[int] = None,
     ):
         super().__init__(
             config,
@@ -198,6 +202,7 @@ class SepeSqedFlow(_BaseFlow):
             compare_memory=compare_memory,
             backend=backend,
             jobs=jobs,
+            opt_level=opt_level,
         )
         self.num_temps = num_temps
         if equivalents is None:

@@ -36,6 +36,9 @@ class Figure4Config:
     num_regs: int = 8
     bound: int = 10
     fifo_depth: int = 2
+    #: Compilation-pipeline level for every solver in the experiment
+    #: (``None`` = process default, see :mod:`repro.solve.pipeline`).
+    opt_level: Optional[int] = None
 
 
 @dataclass
@@ -111,9 +114,14 @@ def run_figure4(config: Figure4Config | None = None) -> Figure4Result:
             op: program for op, program in equivalents_all.items() if op in pool
         }
         sepe = SepeSqedFlow(
-            proc_config, equivalents=equivalents, fifo_depth=config.fifo_depth
+            proc_config,
+            equivalents=equivalents,
+            fifo_depth=config.fifo_depth,
+            opt_level=config.opt_level,
         )
-        sqed = SqedFlow(proc_config, fifo_depth=config.fifo_depth)
+        sqed = SqedFlow(
+            proc_config, fifo_depth=config.fifo_depth, opt_level=config.opt_level
+        )
         sepe_outcome = sepe.run(bug, bound=config.bound)
         sqed_outcome = sqed.run(bug, bound=config.bound)
         result.rows.append(Figure4Row(bug=bug, sepe=sepe_outcome, sqed=sqed_outcome))
@@ -126,9 +134,16 @@ def main() -> None:  # pragma: no cover - CLI entry point
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--full", action="store_true", help="run every Figure 4 bug")
     parser.add_argument("--bugs", nargs="*", default=None)
+    parser.add_argument(
+        "--opt-level",
+        type=int,
+        choices=(0, 1, 2),
+        default=None,
+        help="compilation pipeline level (default: $REPRO_OPT_LEVEL or 2)",
+    )
     args = parser.parse_args()
 
-    config = Figure4Config(bug_names=list(QUICK_BUGS))
+    config = Figure4Config(bug_names=list(QUICK_BUGS), opt_level=args.opt_level)
     if args.full:
         config.bug_names = None
     if args.bugs:

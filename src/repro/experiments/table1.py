@@ -48,6 +48,9 @@ class Table1Config:
     #: Rows (bugs) verified concurrently; each row is an independent pair of
     #: flows, so the table shards perfectly.  ``0`` means one per CPU.
     jobs: int = 1
+    #: Compilation-pipeline level for every solver in the experiment
+    #: (``None`` = process default, see :mod:`repro.solve.pipeline`).
+    opt_level: Optional[int] = None
 
 
 @dataclass
@@ -104,9 +107,14 @@ def run_table1(config: Table1Config | None = None) -> Table1Result:
             op: program for op, program in equivalents_all.items() if op in pool
         }
         sepe = SepeSqedFlow(
-            proc_config, equivalents=equivalents, fifo_depth=config.fifo_depth
+            proc_config,
+            equivalents=equivalents,
+            fifo_depth=config.fifo_depth,
+            opt_level=config.opt_level,
         )
-        sqed = SqedFlow(proc_config, fifo_depth=config.fifo_depth)
+        sqed = SqedFlow(
+            proc_config, fifo_depth=config.fifo_depth, opt_level=config.opt_level
+        )
         sepe_outcome = sepe.run(bug, bound=config.sepe_bound)
         sqed_outcome = sqed.run(
             bug, bound=config.sqed_bound, conflict_budget=config.sqed_conflict_budget
@@ -129,9 +137,18 @@ def main() -> None:  # pragma: no cover - CLI entry point
     parser.add_argument(
         "--jobs", type=int, default=1, help="rows verified concurrently (0 = one per CPU)"
     )
+    parser.add_argument(
+        "--opt-level",
+        type=int,
+        choices=(0, 1, 2),
+        default=None,
+        help="compilation pipeline level (default: $REPRO_OPT_LEVEL or 2)",
+    )
     args = parser.parse_args()
 
-    config = Table1Config(bug_names=list(QUICK_BUGS), jobs=args.jobs)
+    config = Table1Config(
+        bug_names=list(QUICK_BUGS), jobs=args.jobs, opt_level=args.opt_level
+    )
     if args.full:
         config.bug_names = None
     if args.bugs:

@@ -35,12 +35,14 @@ from repro.bmc.engine import (
     BmcStats,
     build_trace,
     load_frame_constraints,
+    prepare_property_system,
 )
 from repro.bmc.kinduction import KInductionEngine, KInductionResult
 from repro.errors import BmcError
 from repro.par.pool import TaskPool, resolve_jobs
 from repro.smt import terms as T
 from repro.solve.context import SolverContext
+from repro.solve.pipeline import PipelineConfig
 from repro.ts.system import TransitionSystem
 from repro.ts.unroll import Unroller
 
@@ -52,12 +54,13 @@ def check_properties_parallel(
     jobs: Optional[int] = 1,
     backend: str = "cdcl",
     conflict_budget: Optional[int] = None,
+    opt_level: Optional[int] = None,
 ) -> dict[str, BmcResult]:
     """Run one incremental BMC engine per property, ``jobs`` at a time."""
     names = list(property_names)
 
     def task(name: str) -> BmcResult:
-        return BmcEngine(ts, backend=backend).check(
+        return BmcEngine(ts, backend=backend, opt_level=opt_level).check(
             name, bound=bound, conflict_budget=conflict_budget
         )
 
@@ -72,12 +75,13 @@ def prove_properties_parallel(
     jobs: Optional[int] = 1,
     backend: str = "cdcl",
     conflict_budget: Optional[int] = None,
+    opt_level: Optional[int] = None,
 ) -> dict[str, KInductionResult]:
     """Run one k-induction engine per property, ``jobs`` at a time."""
     names = list(property_names)
 
     def task(name: str) -> KInductionResult:
-        return KInductionEngine(ts, backend=backend).prove(
+        return KInductionEngine(ts, backend=backend, opt_level=opt_level).prove(
             name, max_k=max_k, conflict_budget=conflict_budget
         )
 
@@ -92,6 +96,7 @@ def _check_frame_shard(
     backend: str,
     conflict_budget: Optional[int],
     best_violation,
+    pipeline: Optional[PipelineConfig] = None,
 ) -> dict:
     """Worker: decide a set of frames on one incremental context.
 
@@ -106,8 +111,10 @@ def _check_frame_shard(
     frame with its trace, the first undecided frame, and solver counters.
     """
     frames = sorted(frames)
-    unroller = Unroller(ts)
-    context = SolverContext(backend=backend)
+    pipeline = pipeline if pipeline is not None else PipelineConfig.resolve(None)
+    reduced_ts, reduction = prepare_property_system(ts, property_name, pipeline)
+    unroller = Unroller(reduced_ts)
+    context = SolverContext(backend=backend, opt_level=pipeline)
     loaded = 0
     violated: Optional[int] = None
     undecided: Optional[int] = None
@@ -140,7 +147,9 @@ def _check_frame_shard(
         frame_seconds.append((frame, time.perf_counter() - frame_start))
         if result.satisfiable:
             violated = frame
-            trace = build_trace(ts, unroller, property_name, result.model, frame)
+            trace = build_trace(
+                ts, unroller, property_name, result.model, frame, reduction=reduction
+            )
             with best_violation.get_lock():
                 if frame < best_violation.value:
                     best_violation.value = frame
@@ -164,15 +173,17 @@ def check_frames_sharded(
     backend: str = "cdcl",
     start_frame: int = 0,
     conflict_budget: Optional[int] = None,
+    opt_level: Optional[int] = None,
 ) -> BmcResult:
     """BMC one property to ``bound``, frames dealt round-robin to workers."""
     if bound < 0:
         raise BmcError(f"bound must be non-negative, got {bound}")
+    pipeline = PipelineConfig.resolve(opt_level)
     jobs = resolve_jobs(jobs)
     if jobs == 1:
-        return BmcEngine(ts, start_frame=start_frame, backend=backend).check(
-            property_name, bound=bound, conflict_budget=conflict_budget
-        )
+        return BmcEngine(
+            ts, start_frame=start_frame, backend=backend, opt_level=pipeline
+        ).check(property_name, bound=bound, conflict_budget=conflict_budget)
     ts.validate()
     if property_name not in ts.properties:
         raise BmcError(f"unknown property {property_name!r}")
@@ -180,9 +191,9 @@ def check_frames_sharded(
         fork_ctx = multiprocessing.get_context("fork")
     except ValueError:
         # No fork on this platform: the sequential engine is always correct.
-        return BmcEngine(ts, start_frame=start_frame, backend=backend).check(
-            property_name, bound=bound, conflict_budget=conflict_budget
-        )
+        return BmcEngine(
+            ts, start_frame=start_frame, backend=backend, opt_level=pipeline
+        ).check(property_name, bound=bound, conflict_budget=conflict_budget)
     frames = list(range(start_frame, bound + 1))
     shards = [frames[i::jobs] for i in range(jobs)]
     shards = [shard for shard in shards if shard]
@@ -191,7 +202,13 @@ def check_frames_sharded(
 
     def task(shard: list[int]) -> dict:
         return _check_frame_shard(
-            ts, property_name, shard, backend, conflict_budget, best_violation
+            ts,
+            property_name,
+            shard,
+            backend,
+            conflict_budget,
+            best_violation,
+            pipeline=pipeline,
         )
 
     summaries = TaskPool(len(shards)).map(task, shards)

@@ -26,7 +26,9 @@ from repro.utils.bitops import mask
 
 
 def verify_equivalence(
-    program: SynthesizedProgram, context: Optional[SolverContext] = None
+    program: SynthesizedProgram,
+    context: Optional[SolverContext] = None,
+    opt_level: Optional[int] = None,
 ) -> bool:
     """Prove (by exhaustive bit-vector reasoning) that a program matches its spec.
 
@@ -34,12 +36,14 @@ def verify_equivalence(
     checks: each program's disagreement constraint then lives in a push/pop
     scope, so component semantics shared between programs blast once and
     the SAT backend keeps its learned clauses from check to check.
+    ``opt_level`` selects the compilation pipeline for an internally built
+    context (a supplied context already carries its own).
     """
     spec = program.spec
     inputs = spec.fresh_input_terms(prefix="eqcheck")
     disagreement = T.bv_ne(spec.output_term(inputs), program.output_term(inputs))
     if context is None:
-        ctx = SolverContext()
+        ctx = SolverContext(opt_level=opt_level)
         ctx.add(disagreement)
         return not ctx.check().satisfiable
     context.push()
@@ -54,9 +58,10 @@ def verify_equivalence(
 def verify_equivalences(
     programs: Mapping[str, SynthesizedProgram],
     context: Optional[SolverContext] = None,
+    opt_level: Optional[int] = None,
 ) -> dict[str, bool]:
     """Check a whole table of equivalent programs on one shared context."""
-    ctx = context if context is not None else SolverContext()
+    ctx = context if context is not None else SolverContext(opt_level=opt_level)
     return {name: verify_equivalence(program, ctx) for name, program in programs.items()}
 
 

@@ -32,13 +32,30 @@ class CNF:
         return self.num_vars
 
     def add_clause(self, literals: Sequence[int]) -> None:
-        """Add a clause given as a sequence of non-zero DIMACS literals."""
-        clause = tuple(int(lit) for lit in literals)
-        for lit in clause:
+        """Add a clause given as a sequence of non-zero DIMACS literals.
+
+        Clauses are normalised on the way in: duplicate literals are dropped
+        (keeping first-occurrence order), tautologies (``x ∨ ¬x``) are
+        skipped entirely, and literal 0 is rejected with :class:`SatError`.
+        Variable counting still covers every literal seen, including those
+        of a skipped tautology, so variable numbering stays aligned with
+        whatever produced the clause.
+        """
+        seen: set[int] = set()
+        clause: list[int] = []
+        tautology = False
+        for lit in literals:
+            lit = int(lit)
             if lit == 0:
                 raise SatError("literal 0 is not allowed in a clause")
             self.num_vars = max(self.num_vars, abs(lit))
-        self.clauses.append(clause)
+            if -lit in seen:
+                tautology = True
+            if lit not in seen:
+                seen.add(lit)
+                clause.append(lit)
+        if not tautology:
+            self.clauses.append(tuple(clause))
 
     def extend(self, clauses: Iterable[Sequence[int]]) -> None:
         """Add many clauses at once."""

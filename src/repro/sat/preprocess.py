@@ -1,0 +1,409 @@
+"""Incrementality-safe CNF preprocessing between the blaster and the backend.
+
+The :class:`Preprocessor` sits in :meth:`repro.solve.context.SolverContext._sync`
+and filters every batch of freshly bit-blasted clauses before the SAT
+backend sees them.  Three classic techniques are applied, each restricted to
+forms that stay sound when more clauses arrive later (the whole point of
+the persistent incremental context):
+
+* **unit propagation** — root-level units are remembered forever; satisfied
+  clauses are dropped and false literals stripped.  Discovered units are
+  *also* emitted to the backend, so later assumptions conflicting with a
+  propagated value still return UNSAT.
+* **subsumption** — a new clause already implied by an emitted (or earlier
+  pending) clause is dropped.  Only the forward direction is useful here:
+  clauses already handed to an incremental backend cannot be retracted.
+* **bounded variable elimination** — in the style of NiVER/SatELite, a
+  variable is resolved away when *all* of its occurrences are still in the
+  pending batch (so nothing already sent to the backend mentions it), it is
+  not frozen, and the resolvent set is no larger than the clauses it
+  replaces.  The original clauses are stored; if a later batch or a later
+  assumption references an eliminated variable, the stored clauses are
+  re-emitted (*un-elimination*), which keeps the trick sound under
+  arbitrary future extension because ``originals ⊨ resolvents``.
+
+**Frozen variables** (activation literals of push/pop scopes, the bits of
+named bit-vector variables, assumption literals) are never eliminated, so
+model extraction and scope retirement keep working unchanged.  Models from
+the backend are completed through eliminated variables with
+:meth:`Preprocessor.extend_model` (the standard reverse-order clause-fixing
+pass), so callers that read auxiliary literals still see consistent values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+
+def _signature(clause: Sequence[int]) -> int:
+    sig = 0
+    for lit in clause:
+        sig |= 1 << (lit & 63)
+    return sig
+
+
+@dataclass
+class PreprocessStats:
+    """Work counters accumulated over the preprocessor's lifetime."""
+
+    clauses_in: int = 0
+    clauses_emitted: int = 0
+    units_found: int = 0
+    satisfied_dropped: int = 0
+    literals_stripped: int = 0
+    subsumed: int = 0
+    vars_eliminated: int = 0
+    vars_restored: int = 0
+    resolvents_added: int = 0
+
+    def as_dict(self) -> dict:
+        return dict(self.__dict__)
+
+
+class Preprocessor:
+    """Streaming clause filter with persistent state across batches."""
+
+    def __init__(
+        self,
+        subsumption_len_limit: int = 16,
+        subsumption_scan_limit: int = 2000,
+        elim_occurrence_limit: int = 10,
+        elim_resolvent_len_limit: int = 16,
+        max_rounds: int = 3,
+    ):
+        self.subsumption_len_limit = subsumption_len_limit
+        self.subsumption_scan_limit = subsumption_scan_limit
+        self.elim_occurrence_limit = elim_occurrence_limit
+        self.elim_resolvent_len_limit = elim_resolvent_len_limit
+        self.max_rounds = max_rounds
+        #: var -> root-level value
+        self._value: dict[int, bool] = {}
+        self._frozen: set[int] = set()
+        # Emitted-clause database (for subsumption and the "nothing emitted
+        # mentions this var" elimination precondition).
+        self._db: dict[int, tuple[int, ...]] = {}
+        self._db_occur: dict[int, list[int]] = {}
+        self._db_sig: dict[int, int] = {}
+        self._emitted_var_occ: dict[int, int] = {}
+        self._next_cid = 0
+        #: var -> its original clauses, in elimination order (dict order)
+        self._eliminated: dict[int, list[tuple[int, ...]]] = {}
+        self.unsat = False
+        self.stats = PreprocessStats()
+
+    # -------------------------------------------------------------- freezing
+
+    def freeze(self, var: int) -> None:
+        self._frozen.add(abs(var))
+
+    def freeze_all(self, vars: Iterable[int]) -> None:
+        for var in vars:
+            self._frozen.add(abs(var))
+
+    def is_frozen(self, var: int) -> bool:
+        return abs(var) in self._frozen
+
+    def is_eliminated(self, var: int) -> bool:
+        return abs(var) in self._eliminated
+
+    # ------------------------------------------------------------- main entry
+
+    def flush(self, batch: Iterable[Sequence[int]]) -> list[tuple[int, ...]]:
+        """Preprocess ``batch`` and return the clauses to hand to the backend."""
+        pending: list[tuple[int, ...]] = [tuple(clause) for clause in batch]
+        self.stats.clauses_in += len(pending)
+        pending.extend(self._restore_referenced(pending))
+        emitted_units: list[int] = []
+        for _ in range(self.max_rounds):
+            pending, new_units = self._propagate(pending)
+            emitted_units.extend(new_units)
+            if self.unsat:
+                return []
+            pending = self._subsume(pending)
+            pending, eliminated_any = self._eliminate(pending)
+            if not eliminated_any:
+                break
+        # Eliminations in the final round may have produced unit resolvents.
+        pending, new_units = self._propagate(pending)
+        emitted_units.extend(new_units)
+        if self.unsat:
+            return []
+        out: list[tuple[int, ...]] = [(lit,) for lit in emitted_units]
+        for clause in pending:
+            self._db_add(clause)
+            out.append(clause)
+        self.stats.clauses_emitted += len(out)
+        return out
+
+    def require_vars(self, vars: Iterable[int]) -> list[tuple[int, ...]]:
+        """Freeze ``vars`` and re-emit stored clauses of any eliminated ones.
+
+        Called with assumption variables before a query: an assumption on an
+        eliminated variable would otherwise be unconstrained.
+        """
+        restored: list[tuple[int, ...]] = []
+        for var in vars:
+            var = abs(var)
+            self._frozen.add(var)
+            if var in self._eliminated:
+                restored.extend(self._restore_var(var))
+        if not restored:
+            return []
+        return self.flush(restored)
+
+    # -------------------------------------------------------------- the model
+
+    def extend_model(self, model: dict[int, bool]) -> dict[int, bool]:
+        """Complete a backend model through the eliminated variables.
+
+        Standard SatELite reconstruction: walk the eliminated variables in
+        reverse elimination order and flip each one to ``True`` exactly when
+        some stored clause would otherwise be falsified.  Clauses stored at
+        elimination time never mention variables eliminated earlier, so the
+        reverse walk always has every other literal's value at hand.
+        """
+        if not self._eliminated:
+            return model
+        extended = dict(model)
+
+        def lit_true(lit: int) -> bool:
+            return extended.get(abs(lit), False) == (lit > 0)
+
+        for var in reversed(self._eliminated):
+            extended[var] = False
+            for clause in self._eliminated[var]:
+                if not any(lit_true(lit) for lit in clause):
+                    # Elimination guarantees a fixing value exists, and with
+                    # every other literal false it can only be ``var`` itself.
+                    extended[var] = True
+                    break
+        return extended
+
+    # ---------------------------------------------------------- un-elimination
+
+    def _restore_var(self, var: int) -> list[tuple[int, ...]]:
+        clauses = self._eliminated.pop(var)
+        self.stats.vars_restored += 1
+        return clauses
+
+    def _restore_referenced(
+        self, pending: list[tuple[int, ...]]
+    ) -> list[tuple[int, ...]]:
+        """Stored clauses of eliminated vars referenced by ``pending`` (transitive)."""
+        restored: list[tuple[int, ...]] = []
+        work = list(pending)
+        while work:
+            clause = work.pop()
+            for lit in clause:
+                var = abs(lit)
+                if var in self._eliminated:
+                    back = self._restore_var(var)
+                    restored.extend(back)
+                    work.extend(back)
+        return restored
+
+    # ------------------------------------------------------- unit propagation
+
+    def _propagate(
+        self, pending: list[tuple[int, ...]]
+    ) -> tuple[list[tuple[int, ...]], list[int]]:
+        """Simplify against root-level values; returns (clauses, new unit lits)."""
+        new_units: list[int] = []
+        clauses = list(pending)
+        while True:
+            changed = False
+            survivors: list[tuple[int, ...]] = []
+            for clause in clauses:
+                satisfied = False
+                stripped: list[int] = []
+                for lit in clause:
+                    value = self._value.get(abs(lit))
+                    if value is None:
+                        stripped.append(lit)
+                    elif value == (lit > 0):
+                        satisfied = True
+                        break
+                if satisfied:
+                    self.stats.satisfied_dropped += 1
+                    continue
+                self.stats.literals_stripped += len(clause) - len(stripped)
+                if not stripped:
+                    self.unsat = True
+                    return [], new_units
+                if len(stripped) == 1:
+                    lit = stripped[0]
+                    existing = self._value.get(abs(lit))
+                    if existing is not None and existing != (lit > 0):
+                        self.unsat = True
+                        return [], new_units
+                    self._value[abs(lit)] = lit > 0
+                    new_units.append(lit)
+                    self.stats.units_found += 1
+                    changed = True
+                    continue
+                survivors.append(tuple(stripped))
+            clauses = survivors
+            if not changed:
+                return clauses, new_units
+
+    # ------------------------------------------------------------- subsumption
+
+    def _subsume(self, pending: list[tuple[int, ...]]) -> list[tuple[int, ...]]:
+        """Drop pending clauses implied by an emitted or earlier pending clause."""
+        kept: list[tuple[int, ...]] = []
+        kept_sets: list[frozenset[int]] = []
+        kept_sigs: list[int] = []
+        # literal -> indices into ``kept``
+        kept_occur: dict[int, list[int]] = {}
+        for clause in pending:
+            cset = frozenset(clause)
+            sig = _signature(clause)
+            if len(clause) <= self.subsumption_len_limit and self._is_subsumed(
+                clause, cset, sig, kept, kept_sets, kept_sigs, kept_occur
+            ):
+                self.stats.subsumed += 1
+                continue
+            index = len(kept)
+            kept.append(clause)
+            kept_sets.append(cset)
+            kept_sigs.append(sig)
+            for lit in clause:
+                kept_occur.setdefault(lit, []).append(index)
+        return kept
+
+    def _is_subsumed(
+        self,
+        clause: tuple[int, ...],
+        cset: frozenset[int],
+        sig: int,
+        kept: list[tuple[int, ...]],
+        kept_sets: list[frozenset[int]],
+        kept_sigs: list[int],
+        kept_occur: dict[int, list[int]],
+    ) -> bool:
+        scanned = 0
+        inv_sig = ~sig
+        for lit in clause:
+            for cid in self._db_occur.get(lit, ()):
+                scanned += 1
+                if scanned > self.subsumption_scan_limit:
+                    return False
+                if self._db_sig[cid] & inv_sig:
+                    continue
+                other = self._db[cid]
+                if len(other) <= len(cset) and cset.issuperset(other):
+                    return True
+            for index in kept_occur.get(lit, ()):
+                scanned += 1
+                if scanned > self.subsumption_scan_limit:
+                    return False
+                if kept_sigs[index] & inv_sig:
+                    continue
+                if len(kept[index]) <= len(cset) and cset.issuperset(
+                    kept_sets[index]
+                ):
+                    return True
+        return False
+
+    # ------------------------------------------------- bounded var elimination
+
+    def _eliminate(
+        self, pending: list[tuple[int, ...]]
+    ) -> tuple[list[tuple[int, ...]], bool]:
+        """One bounded-variable-elimination pass over the pending batch."""
+        occur: dict[int, set[int]] = {}
+        clauses: dict[int, tuple[int, ...]] = dict(enumerate(pending))
+        for pid, clause in clauses.items():
+            for lit in clause:
+                occur.setdefault(lit, set()).add(pid)
+
+        limit = self.elim_occurrence_limit
+        eliminated_any = False
+        candidates = sorted(
+            {
+                abs(lit)
+                for clause in clauses.values()
+                for lit in clause
+            },
+            key=lambda v: len(occur.get(v, ())) + len(occur.get(-v, ())),
+        )
+        for var in candidates:
+            if (
+                var in self._frozen
+                or var in self._value
+                or self._emitted_var_occ.get(var, 0) > 0
+            ):
+                continue
+            pos = [pid for pid in occur.get(var, ()) if pid in clauses]
+            neg = [pid for pid in occur.get(-var, ()) if pid in clauses]
+            if not pos and not neg:
+                continue
+            if len(pos) > limit or len(neg) > limit:
+                continue
+            resolvents: list[tuple[int, ...]] = []
+            budget = len(pos) + len(neg)
+            feasible = True
+            for ppid in pos:
+                for npid in neg:
+                    resolvent = self._resolve(clauses[ppid], clauses[npid], var)
+                    if resolvent is None:
+                        continue  # tautology
+                    if len(resolvent) > self.elim_resolvent_len_limit:
+                        feasible = False
+                        break
+                    resolvents.append(resolvent)
+                    if len(resolvents) > budget:
+                        feasible = False
+                        break
+                if not feasible:
+                    break
+            if not feasible:
+                continue
+            # Accept: drop the var's clauses, keep their resolvents pending.
+            originals = [clauses[pid] for pid in pos + neg]
+            for pid in pos + neg:
+                clause = clauses.pop(pid)
+                for lit in clause:
+                    occur[lit].discard(pid)
+            for resolvent in resolvents:
+                pid = len(pending) + self.stats.resolvents_added + 1
+                while pid in clauses:
+                    pid += 1
+                clauses[pid] = resolvent
+                for lit in resolvent:
+                    occur.setdefault(lit, set()).add(pid)
+                self.stats.resolvents_added += 1
+            self._eliminated[var] = originals
+            self.stats.vars_eliminated += 1
+            eliminated_any = True
+        return list(clauses.values()), eliminated_any
+
+    @staticmethod
+    def _resolve(
+        pos_clause: tuple[int, ...], neg_clause: tuple[int, ...], var: int
+    ) -> tuple[int, ...] | None:
+        seen: set[int] = set()
+        out: list[int] = []
+        for clause, skip in ((pos_clause, var), (neg_clause, -var)):
+            for lit in clause:
+                if lit == skip:
+                    continue
+                if -lit in seen:
+                    return None
+                if lit not in seen:
+                    seen.add(lit)
+                    out.append(lit)
+        return tuple(out)
+
+    # ------------------------------------------------------------ emitted db
+
+    def _db_add(self, clause: tuple[int, ...]) -> None:
+        cid = self._next_cid
+        self._next_cid += 1
+        self._db[cid] = clause
+        self._db_sig[cid] = _signature(clause)
+        for lit in clause:
+            self._db_occur.setdefault(lit, []).append(cid)
+            var = abs(lit)
+            self._emitted_var_occ[var] = self._emitted_var_occ.get(var, 0) + 1

@@ -1,20 +1,38 @@
-"""Tseitin bit-blasting of bit-vector terms to CNF.
+"""Bit-blasting of bit-vector terms, either directly to CNF or via the AIG.
 
-Every bit of every term is represented by a DIMACS literal.  Two reserved
-literals stand for the constants: a dedicated variable is forced true so
-``TRUE`` is that variable and ``FALSE`` is its negation.  All gate encoders
-first try to simplify against those constant literals, which — combined with
-the word-level simplification done by the smart constructors — keeps the CNF
-for the early BMC frames small.
+The blaster has two modes, selected by the
+:class:`~repro.solve.pipeline.PipelineConfig` it is constructed with:
+
+* **naive** (``opt_level=0``, the default for a bare ``BitBlaster()``) —
+  classic Tseitin encoding: every gate immediately becomes a fresh DIMACS
+  variable plus its clauses, with local structural gate caching.  Two
+  reserved literals stand for the constants: a dedicated variable is forced
+  true so ``TRUE`` is that variable and ``FALSE`` is its negation.
+* **AIG** (``opt_level>=1``) — gates are built in a
+  :class:`~repro.aig.AIG` (structural hashing, constant propagation,
+  two-level rewrites, native XOR/ITE nodes) and only the cones of asserted
+  or assumed terms are lowered to CNF on demand.  In this mode the literal
+  lists returned by :meth:`blast` live in the AIG's literal space;
+  :meth:`assert_term`, :meth:`assumption_literal` and
+  :meth:`variable_bits` translate to CNF literals at the boundary.
+
+In both modes all gate encoders first simplify against the constant
+literals, which — combined with the word-level simplification done by the
+smart constructors — keeps the CNF for the early BMC frames small.
 """
 
 from __future__ import annotations
+
+from typing import TYPE_CHECKING
 
 from repro.errors import SmtError
 from repro.sat.cnf import CNF
 from repro.smt import terms as T
 from repro.smt.terms import BV
 from repro.utils.bitops import clog2
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.solve.pipeline import PipelineConfig
 
 _GATE_AND = 0
 _GATE_XOR = 1
@@ -23,12 +41,30 @@ _GATE_XOR = 1
 class BitBlaster:
     """Translate :class:`~repro.smt.terms.BV` terms into CNF clauses."""
 
-    def __init__(self) -> None:
+    def __init__(self, pipeline: "PipelineConfig | int | None" = 0) -> None:
+        from repro.solve.pipeline import PipelineConfig
+
+        self.pipeline = PipelineConfig.resolve(pipeline)
+        self._use_aig = self.pipeline.use_aig
         self.cnf = CNF()
         self._const_var = self.cnf.new_var()
         self.cnf.add_clause([self._const_var])
-        self.TRUE = self._const_var
-        self.FALSE = -self._const_var
+        if self._use_aig:
+            from repro.aig import AIG, CnfLowering
+
+            self.aig: "AIG | None" = AIG()
+            self._lower = CnfLowering(self.aig, self.cnf, self._const_var)
+            self.TRUE = self.aig.TRUE
+            self.FALSE = self.aig.FALSE
+        else:
+            self.aig = None
+            self._lower = None
+            self.TRUE = self._const_var
+            self.FALSE = -self._const_var
+        # CNF vars of named-variable bits not yet reported through
+        # :meth:`drain_protected_vars` (naive mode; the AIG mode tracks
+        # lazily lowered bits inside the lowering instead).
+        self._protected_pending: list[int] = []
         # term id -> list of literals (LSB first)
         self._cache: dict[int, list[int]] = {}
         # variable name -> list of literals
@@ -37,17 +73,22 @@ class BitBlaster:
         # operands canonically ordered.  Distinct terms that bit-blast to the
         # same gate structure (repeated pipeline logic across BMC frames,
         # re-instantiated CEGIS examples) then share literals and clauses.
+        # (The AIG mode hashes inside the graph instead.)
         self._gate_cache: dict[tuple[int, int, int], int] = {}
 
     # ------------------------------------------------------------ primitives
 
     def _new_lit(self) -> int:
+        if self._use_aig:
+            return self.aig.add_input()
         return self.cnf.new_var()
 
     def _not(self, a: int) -> int:
         return -a
 
     def _and(self, a: int, b: int) -> int:
+        if self._use_aig:
+            return self.aig.and_(a, b)
         if a == self.FALSE or b == self.FALSE:
             return self.FALSE
         if a == self.TRUE:
@@ -75,6 +116,8 @@ class BitBlaster:
         return -self._and(-a, -b)
 
     def _xor(self, a: int, b: int) -> int:
+        if self._use_aig:
+            return self.aig.xor_(a, b)
         if a == self.FALSE:
             return b
         if b == self.FALSE:
@@ -109,6 +152,10 @@ class BitBlaster:
         return sign * out
 
     def _ite(self, cond: int, then_lit: int, else_lit: int) -> int:
+        if self._use_aig:
+            # A native mux node lowers to 4 clauses; the or-of-ands expansion
+            # below costs 3 auxiliary variables and 9 clauses.
+            return self.aig.ite(cond, then_lit, else_lit)
         if cond == self.TRUE:
             return then_lit
         if cond == self.FALSE:
@@ -235,6 +282,10 @@ class BitBlaster:
         if bits is None:
             bits = [self._new_lit() for _ in range(node.width)]
             self._var_bits[node.name] = bits
+            if self._use_aig:
+                self._lower.watched.update(bits)
+            else:
+                self._protected_pending.extend(bits)
         return bits
 
     def _blast_node(self, node: BV, args: list[list[int]]) -> list[int]:
@@ -283,19 +334,49 @@ class BitBlaster:
 
     # -------------------------------------------------------------- frontend
 
+    def materialize(self, lit: int) -> int:
+        """Translate a blast-domain literal into a CNF literal.
+
+        In naive mode this is the identity; in AIG mode the literal's cone
+        is lowered into the CNF on first use.
+        """
+        if self._use_aig:
+            return self._lower.materialize(lit)
+        return lit
+
     def assert_term(self, term: BV) -> None:
         """Assert that a width-1 term is true."""
         if term.width != 1:
             raise SmtError(f"assertions must have width 1, got {term.width}")
         bits = self.blast(term)
-        self.cnf.add_clause([bits[0]])
+        self.cnf.add_clause([self.materialize(bits[0])])
 
     def assumption_literal(self, term: BV) -> int:
-        """Bit-blast a width-1 term and return its literal without asserting it."""
+        """Bit-blast a width-1 term and return its CNF literal, unasserted."""
         if term.width != 1:
             raise SmtError(f"assumptions must have width 1, got {term.width}")
-        return self.blast(term)[0]
+        return self.materialize(self.blast(term)[0])
 
     def variable_bits(self, name: str) -> list[int] | None:
-        """Return the literals backing variable ``name`` (``None`` if unused)."""
-        return self._var_bits.get(name)
+        """CNF literals backing variable ``name`` (``None`` if unused)."""
+        bits = self._var_bits.get(name)
+        if bits is None or not self._use_aig:
+            return bits
+        return [self._lower.materialize(bit) for bit in bits]
+
+    def drain_protected_vars(self) -> list[int]:
+        """CNF variables of named-variable bits that reached the CNF since
+        the last drain.
+
+        The preprocessor must never eliminate these (model extraction reads
+        them); bits whose cone was never lowered have no CNF presence yet
+        and need no protection — they surface in the drain that follows
+        their lowering.  Each variable is reported exactly once.
+        """
+        if self._use_aig:
+            out = self._lower.watched_lowered
+            self._lower.watched_lowered = []
+        else:
+            out = self._protected_pending
+            self._protected_pending = []
+        return out

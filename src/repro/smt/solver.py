@@ -39,13 +39,23 @@ class BVSolver:
         self,
         backend: "str | SatBackend" = "cdcl",
         context: Optional[SolverContext] = None,
+        opt_level: "int | None" = None,
     ) -> None:
         if context is not None and not is_default_backend(backend):
             raise SmtError(
                 "pass either a backend spec or an explicit context, not both: "
                 "a supplied context already carries its own backend"
             )
-        self._ctx = context if context is not None else SolverContext(backend=backend)
+        if context is not None and opt_level is not None:
+            raise SmtError(
+                "pass either an opt_level or an explicit context, not both: "
+                "a supplied context already carries its pipeline config"
+            )
+        self._ctx = (
+            context
+            if context is not None
+            else SolverContext(backend=backend, opt_level=opt_level)
+        )
 
     @property
     def context(self) -> SolverContext:

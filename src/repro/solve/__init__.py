@@ -20,13 +20,21 @@ from repro.solve.backend import (
     dimacs_solver_available,
 )
 from repro.solve.context import BVResult, SolverContext
+from repro.solve.pipeline import (
+    EncodingStats,
+    PipelineConfig,
+    default_opt_level,
+)
 
 __all__ = [
     "BVResult",
     "CdclBackend",
     "DimacsBackend",
+    "EncodingStats",
+    "PipelineConfig",
     "SatBackend",
     "SolverContext",
     "create_backend",
+    "default_opt_level",
     "dimacs_solver_available",
 ]

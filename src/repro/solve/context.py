@@ -29,13 +29,16 @@ CDCL solver by default, or a DIMACS subprocess for external solvers.
 
 from __future__ import annotations
 
+import time
 import weakref
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Iterable, Optional
 
 from repro.errors import SmtError, SolveError
+from repro.sat.preprocess import Preprocessor
 from repro.sat.solver import SolverStats
 from repro.solve.backend import SatBackend, create_backend
+from repro.solve.pipeline import EncodingStats, PipelineConfig
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.smt.bitblast import BitBlaster
@@ -124,10 +127,15 @@ class _Scope:
 class SolverContext:
     """Incremental QF_BV solving over one blaster and one SAT backend."""
 
-    def __init__(self, backend: "str | SatBackend" = "cdcl"):
+    def __init__(
+        self,
+        backend: "str | SatBackend" = "cdcl",
+        opt_level: "PipelineConfig | int | None" = None,
+    ):
         from repro.smt.bitblast import BitBlaster
 
-        self._blaster = BitBlaster()
+        self.pipeline = PipelineConfig.resolve(opt_level)
+        self._blaster = BitBlaster(pipeline=self.pipeline)
         self._backend: SatBackend = create_backend(backend)
         # A backend holds clauses numbered by this context's blaster, so a
         # single instance must never serve two contexts: the second blaster
@@ -135,6 +143,16 @@ class SolverContext:
         # context's clauses.  Spec strings always construct a fresh backend;
         # instances are claimed on first use.
         _claim_backend(self._backend)
+        # CNF preprocessing (opt_level >= 2) filters every synced batch; the
+        # constant-true variable is frozen forever, named-variable bits and
+        # activation literals are frozen as they appear.
+        self._pre: Optional[Preprocessor] = None
+        if self.pipeline.preprocess:
+            self._pre = Preprocessor()
+            self._pre.freeze(self._blaster._const_var)
+        self._backend_clauses = 0
+        self._preprocess_seconds = 0.0
+        self._blast_seconds = 0.0
         self._clauses_synced = 0
         # Root-level assertions in insertion order (constants included, for
         # facade parity with the historical BVSolver behaviour).
@@ -172,6 +190,41 @@ class SolverContext:
         return self._blaster.cnf.num_vars
 
     @property
+    def backend_clauses(self) -> int:
+        """Clauses actually handed to the SAT backend so far."""
+        return self._backend_clauses
+
+    def encoding_stats(self) -> EncodingStats:
+        """A snapshot of the compilation-pipeline size/effort counters.
+
+        ``cnf_clauses_post`` only counts clauses already synced to the
+        backend; call after a :meth:`check` for a settled picture.
+        """
+        stats = EncodingStats(opt_level=self.pipeline.opt_level)
+        stats.cnf_vars = self.num_vars
+        stats.cnf_clauses_pre = len(self._blaster.cnf.clauses)
+        stats.cnf_clauses_post = self._backend_clauses
+        stats.preprocess_seconds = self._preprocess_seconds
+        stats.blast_seconds = self._blast_seconds
+        aig = self._blaster.aig
+        if aig is not None:
+            aig_stats = aig.stats()
+            stats.aig_nodes = aig.num_nodes()
+            stats.aig_and = aig_stats.num_and
+            stats.aig_xor = aig_stats.num_xor
+            stats.aig_ite = aig_stats.num_ite
+            stats.aig_rewrite_hits = aig_stats.rewrite_hits
+            stats.aig_strash_hits = aig_stats.strash_hits
+        if self._pre is not None:
+            pre = self._pre.stats
+            stats.units_found = pre.units_found
+            stats.subsumed = pre.subsumed
+            stats.vars_eliminated = pre.vars_eliminated
+            stats.vars_restored = pre.vars_restored
+            stats.resolvents_added = pre.resolvents_added
+        return stats
+
+    @property
     def assertions(self) -> list["BV"]:
         """Root assertions plus the assertions of every open scope, in order."""
         terms = list(self._root_terms)
@@ -197,17 +250,45 @@ class SolverContext:
     def _sync(self) -> None:
         """Feed clauses produced by the blaster since the last query."""
         cnf = self._blaster.cnf
-        self._backend.reserve(cnf.num_vars)
         clauses = cnf.clauses
-        for index in range(self._clauses_synced, len(clauses)):
-            self._backend.add_clause(clauses[index])
+        if self._pre is None:
+            self._backend.reserve(cnf.num_vars)
+            for index in range(self._clauses_synced, len(clauses)):
+                self._backend.add_clause(clauses[index])
+            self._backend_clauses += len(clauses) - self._clauses_synced
+            self._clauses_synced = len(clauses)
+            return
+        if self._clauses_synced == len(clauses):
+            self._backend.reserve(cnf.num_vars)
+            return
+        start = time.perf_counter()
+        # Bits of named variables that reached the CNF must survive
+        # preprocessing untouched: model extraction reads them directly.
+        self._pre.freeze_all(self._blaster.drain_protected_vars())
+        batch = clauses[self._clauses_synced :]
         self._clauses_synced = len(clauses)
+        emitted = self._pre.flush(batch)
+        self._preprocess_seconds += time.perf_counter() - start
+        self._backend.reserve(cnf.num_vars)
+        for clause in emitted:
+            self._backend.add_clause(clause)
+        self._backend_clauses += len(emitted)
+
+    def _feed_restored(self, clauses: list) -> None:
+        """Hand un-eliminated clauses straight to the backend."""
+        for clause in clauses:
+            self._backend.add_clause(clause)
+        self._backend_clauses += len(clauses)
 
     # --------------------------------------------------------------- scoping
 
     def push(self) -> int:
         """Open an assertion scope; returns the new scope depth."""
         activation = self._blaster.cnf.new_var()
+        if self._pre is not None:
+            # The activation literal is assumed by every check and asserted
+            # negatively on pop; eliminating it would break both.
+            self._pre.freeze(activation)
         self._scopes.append(_Scope(activation))
         return len(self._scopes)
 
@@ -239,7 +320,9 @@ class SolverContext:
                 else:
                     self._blaster.cnf.add_clause([-scope.activation])
             return
+        blast_start = time.perf_counter()
         literal = self._blaster.assumption_literal(term)
+        self._blast_seconds += time.perf_counter() - blast_start
         if scope is None:
             self._blaster.cnf.add_clause([literal])
         else:
@@ -248,6 +331,54 @@ class SolverContext:
     def add_all(self, terms: Iterable["BV"]) -> None:
         for term in terms:
             self.add(term)
+
+    def _blast_assumptions(
+        self, assumptions: Iterable["BV"]
+    ) -> tuple[list[int], list["BV"], bool]:
+        """Blast query-scoped assumptions to CNF literals.
+
+        Returns ``(literals, non-const terms, const_false)`` where
+        ``const_false`` means some assumption folded to constant false and
+        the query is trivially UNSAT.  Constant-true assumptions are
+        dropped.  Shared by :meth:`check` and :meth:`encode` so the two
+        paths cannot drift.
+        """
+        lits: list[int] = []
+        terms: list["BV"] = []
+        for term in assumptions:
+            if term.width != 1:
+                raise SmtError(f"assumptions must have width 1, got {term.width}")
+            if term.is_const:
+                if term.const_value() == 0:
+                    return lits, terms, True
+                continue
+            blast_start = time.perf_counter()
+            lits.append(self._blaster.assumption_literal(term))
+            self._blast_seconds += time.perf_counter() - blast_start
+            terms.append(term)
+        return lits, terms, False
+
+    # ----------------------------------------------------------------- encode
+
+    def encode(self, assumptions: Iterable["BV"] = ()) -> None:
+        """Blast and sync the current assertions without querying the backend.
+
+        Runs the full compilation pipeline — blasting (AIG lowering at
+        ``opt_level>=1``), preprocessing, assumption-variable restoration —
+        exactly as :meth:`check` would, but skips the SAT query.  The
+        backend ends up with the same clause set a real check would feed
+        it, which is what encoding-size measurement needs: formula sizes
+        become observable without paying for solving the formula.
+        """
+        assumption_lits, _terms, const_false = self._blast_assumptions(assumptions)
+        if const_false:
+            # check() answers such a query without syncing; mirror that.
+            return
+        self._sync()
+        if self._pre is not None and assumption_lits:
+            restored = self._pre.require_vars(abs(l) for l in assumption_lits)
+            if restored:
+                self._feed_restored(restored)
 
     # ------------------------------------------------------------------ check
 
@@ -269,18 +400,24 @@ class SolverContext:
         """
         if self._root_failed:
             return BVResult(False)
-        assumption_terms: list["BV"] = []
         assumption_lits = [scope.activation for scope in self._scopes]
-        for term in assumptions:
-            if term.width != 1:
-                raise SmtError(f"assumptions must have width 1, got {term.width}")
-            if term.is_const:
-                if term.const_value() == 0:
-                    return BVResult(False)
-                continue
-            assumption_lits.append(self._blaster.assumption_literal(term))
-            assumption_terms.append(term)
+        lits, assumption_terms, const_false = self._blast_assumptions(assumptions)
+        if const_false:
+            return BVResult(False)
+        assumption_lits.extend(lits)
         self._sync()
+        if self._pre is not None:
+            # Assumption variables must be live in the backend: restore the
+            # stored clauses of any that bounded variable elimination took.
+            restored = self._pre.require_vars(abs(l) for l in assumption_lits)
+            if restored:
+                self._feed_restored(restored)
+            if self._pre.unsat:
+                return BVResult(
+                    False,
+                    num_clauses=self.num_clauses,
+                    num_vars=self.num_vars,
+                )
         before = self._backend.stats.copy()
         result = self._backend.solve(
             assumptions=assumption_lits,
@@ -304,7 +441,12 @@ class SolverContext:
             )
         model: dict[str, int] = {}
         if need_model:
-            model = self._extract_model(result, assumption_terms, full_model)
+            backend_model = result.model
+            if self._pre is not None:
+                # Complete the model through eliminated auxiliary variables
+                # so every CNF literal reads consistently.
+                backend_model = self._pre.extend_model(backend_model)
+            model = self._extract_model(backend_model, assumption_terms, full_model)
         return BVResult(
             True,
             model=model,
@@ -315,7 +457,7 @@ class SolverContext:
         )
 
     def _extract_model(
-        self, result, assumption_terms: list["BV"], full_model: bool
+        self, backend_model, assumption_terms: list["BV"], full_model: bool
     ) -> dict[str, int]:
         from repro.utils.bitops import from_bits
 
@@ -346,7 +488,7 @@ class SolverContext:
                 model[name] = 0
                 continue
             values = [
-                1 if result.model.get(abs(b), False) == (b > 0) else 0 for b in bits
+                1 if backend_model.get(abs(b), False) == (b > 0) else 0 for b in bits
             ]
             model[name] = from_bits(values)
         return model

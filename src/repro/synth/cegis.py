@@ -51,6 +51,9 @@ class CegisConfig:
     initial_examples: int = 2
     conflict_budget: Optional[int] = None
     incremental: bool = True
+    #: Compilation-pipeline level for both solver contexts (``None`` =
+    #: process default, see :mod:`repro.solve.pipeline`).
+    opt_level: Optional[int] = None
 
 
 @dataclass
@@ -109,9 +112,9 @@ class CegisEngine:
         synth_ctx: Optional[SolverContext] = None
         verify_ctx: Optional[SolverContext] = None
         if incremental:
-            synth_ctx = SolverContext(backend=self.backend)
+            synth_ctx = SolverContext(backend=self.backend, opt_level=self.config.opt_level)
             synth_ctx.add_all(synth_terms)
-            verify_ctx = SolverContext(backend=self.backend)
+            verify_ctx = SolverContext(backend=self.backend, opt_level=self.config.opt_level)
         verify_inputs = spec.fresh_input_terms(prefix="verify")
         spec_term = spec.output_term(verify_inputs)
 
@@ -120,7 +123,7 @@ class CegisEngine:
             stats.iterations += 1
             stats.synthesis_queries += 1
             if not incremental:
-                synth_ctx = SolverContext(backend=self.backend)
+                synth_ctx = SolverContext(backend=self.backend, opt_level=self.config.opt_level)
                 synth_ctx.add_all(synth_terms)
             assert synth_ctx is not None
             result = synth_ctx.check(conflict_budget=self.config.conflict_budget)
@@ -130,7 +133,7 @@ class CegisEngine:
                 break
             candidate = encoder.decode(result)
             stats.verification_queries += 1
-            ctx = verify_ctx if incremental else SolverContext(backend=self.backend)
+            ctx = verify_ctx if incremental else SolverContext(backend=self.backend, opt_level=self.config.opt_level)
             counterexample = self._check_candidate(
                 ctx, verify_inputs, spec_term, candidate, stats
             )
@@ -175,7 +178,7 @@ class CegisEngine:
         input_terms = spec.fresh_input_terms(prefix="verify")
         spec_term = spec.output_term(input_terms)
         return self._check_candidate(
-            SolverContext(backend=self.backend),
+            SolverContext(backend=self.backend, opt_level=self.config.opt_level),
             input_terms,
             spec_term,
             program,

@@ -5,7 +5,14 @@ for Pono in the paper's flow: state variables with init/next functions,
 free inputs, global constraints (assumptions) and safety properties.
 """
 
+from repro.ts.coi import CoiReduction, reduce_to_property_cone
 from repro.ts.system import StateVar, TransitionSystem
 from repro.ts.unroll import Unroller
 
-__all__ = ["StateVar", "TransitionSystem", "Unroller"]
+__all__ = [
+    "CoiReduction",
+    "StateVar",
+    "TransitionSystem",
+    "Unroller",
+    "reduce_to_property_cone",
+]

@@ -1,0 +1,190 @@
+"""Tests for the incremental CNF preprocessor."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.sat.preprocess import Preprocessor
+from repro.sat.solver import SatSolver
+
+
+def _brute_force_sat(clauses, num_vars):
+    for assignment in range(1 << num_vars):
+        values = {v: bool((assignment >> (v - 1)) & 1) for v in range(1, num_vars + 1)}
+        if all(any(values[abs(l)] == (l > 0) for l in clause) for clause in clauses):
+            return True
+    return False
+
+
+def _solve(clauses, assumptions=()):
+    solver = SatSolver()
+    for clause in clauses:
+        solver.add_clause(clause)
+    return solver.solve(assumptions=assumptions)
+
+
+class TestUnitPropagation:
+    def test_units_simplify_and_are_reemitted(self):
+        pre = Preprocessor()
+        out = pre.flush([[1], [-1, 2], [1, 3, 4]])
+        # [1] asserted, [-1,2] strengthens to [2], [1,3,4] satisfied.
+        assert (1,) in out and (2,) in out
+        assert all(len(c) == 1 for c in out)
+        assert pre.stats.units_found == 2
+        assert pre.stats.satisfied_dropped >= 1
+
+    def test_units_persist_across_batches(self):
+        pre = Preprocessor()
+        pre.flush([[5]])
+        out = pre.flush([[-5, 6], [5, 7]])
+        assert out == [(6,)]
+
+    def test_conflicting_units_set_unsat(self):
+        pre = Preprocessor()
+        pre.flush([[1]])
+        pre.flush([[-1]])
+        assert pre.unsat is True
+
+    def test_empty_clause_from_propagation_sets_unsat(self):
+        pre = Preprocessor()
+        pre.flush([[1], [2]])
+        pre.flush([[-1, -2]])
+        assert pre.unsat is True
+
+
+class TestSubsumption:
+    def test_forward_subsumption_within_batch(self):
+        pre = Preprocessor()
+        pre.freeze_all([1, 2, 3])
+        out = pre.flush([[1, 2], [1, 2, 3]])
+        assert (1, 2) in out
+        assert all(set(c) != {1, 2, 3} for c in out)
+        assert pre.stats.subsumed == 1
+
+    def test_forward_subsumption_against_earlier_batch(self):
+        pre = Preprocessor()
+        pre.freeze_all([1, 2, 3])
+        pre.flush([[1, 2]])
+        out = pre.flush([[1, 2, 3]])
+        assert out == []
+        assert pre.stats.subsumed == 1
+
+
+class TestVariableElimination:
+    def test_pure_auxiliary_gate_vanishes(self):
+        # Tseitin AND gate 3 <-> 1&2 with no other use of 3: resolvents are
+        # all tautologies, the variable disappears entirely.
+        pre = Preprocessor()
+        pre.freeze_all([1, 2])
+        out = pre.flush([[-3, 1], [-3, 2], [3, -1, -2]])
+        assert out == []
+        assert pre.is_eliminated(3)
+        assert pre.stats.vars_eliminated == 1
+
+    def test_frozen_vars_survive(self):
+        pre = Preprocessor()
+        pre.freeze_all([1, 2, 3])
+        out = pre.flush([[-3, 1], [-3, 2], [3, -1, -2]])
+        assert len(out) == 3
+        assert not pre.is_eliminated(3)
+
+    def test_elimination_preserves_satisfiability(self):
+        rng = random.Random(7)
+        for _ in range(40):
+            num_vars = rng.randint(3, 7)
+            clauses = []
+            for _ in range(rng.randint(3, 18)):
+                width = rng.randint(1, 3)
+                clause = list(
+                    {rng.choice([-1, 1]) * rng.randint(1, num_vars) for _ in range(width)}
+                )
+                if any(-l in clause for l in clause):
+                    continue
+                clauses.append(clause)
+            expected = _brute_force_sat(clauses, num_vars)
+            pre = Preprocessor()
+            out = pre.flush(clauses)
+            if pre.unsat:
+                assert expected is False
+                continue
+            result = _solve(out)
+            assert result.satisfiable is expected
+
+    def test_model_extension_through_eliminated_vars(self):
+        # Eliminate gate var 3 (out of 3 <-> 1&2), solve the remainder, then
+        # extend the model: var 3 must read as value(1) & value(2).
+        pre = Preprocessor()
+        pre.freeze_all([1, 2])
+        out = pre.flush([[-3, 1], [-3, 2], [3, -1, -2], [1], [2]])
+        result = _solve(out)
+        assert result.satisfiable
+        model = pre.extend_model(result.model)
+        assert model[1] is True and model[2] is True
+        assert model[3] is True
+
+    def test_model_extension_negative_case(self):
+        pre = Preprocessor()
+        pre.freeze_all([1, 2])
+        out = pre.flush([[-3, 1], [-3, 2], [3, -1, -2], [-1], [2]])
+        result = _solve(out)
+        model = pre.extend_model(result.model)
+        assert model[3] is False
+
+    def test_uneliminate_on_later_reference(self):
+        pre = Preprocessor()
+        pre.freeze_all([1, 2])
+        pre.flush([[-3, 1], [-3, 2], [3, -1, -2]])
+        assert pre.is_eliminated(3)
+        # A later batch references var 3: its definition must come back.
+        out = pre.flush([[3, 4], [-4]])
+        assert not pre.is_eliminated(3)
+        assert pre.stats.vars_restored == 1
+        # Solving everything emitted so far with 1,2 true forces 3 true.
+        all_clauses = [c for c in out]
+        result = _solve(all_clauses, assumptions=[1, 2])
+        assert result.satisfiable
+        assert result.model[3] is True
+
+    def test_require_vars_restores_assumption_var(self):
+        pre = Preprocessor()
+        pre.freeze_all([1, 2])
+        pre.flush([[-3, 1], [-3, 2], [3, -1, -2]])
+        restored = pre.require_vars([3])
+        assert not pre.is_eliminated(3)
+        assert restored, "the stored definition clauses must be re-emitted"
+        # With the definition back, assuming 3 while 1 is false is UNSAT.
+        result = _solve(restored, assumptions=[3, -1])
+        assert result.satisfiable is False
+
+
+class TestEquivalenceRandomised:
+    """Preprocessed output is equisatisfiable and respects assumptions on frozen vars."""
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_instances_with_frozen_assumption_vars(self, seed):
+        rng = random.Random(seed)
+        num_vars = rng.randint(4, 8)
+        clauses = []
+        for _ in range(rng.randint(4, 22)):
+            width = rng.randint(1, 3)
+            lits = {rng.choice([-1, 1]) * rng.randint(1, num_vars) for _ in range(width)}
+            if any(-l in lits for l in lits):
+                continue
+            clauses.append(sorted(lits))
+        frozen = [v for v in range(1, num_vars + 1) if rng.random() < 0.5]
+        pre = Preprocessor()
+        pre.freeze_all(frozen)
+        out = pre.flush(clauses)
+        for assumption_bits in range(1 << len(frozen)):
+            assumptions = [
+                v if (assumption_bits >> i) & 1 else -v
+                for i, v in enumerate(frozen)
+            ]
+            expected = _solve(clauses, assumptions=assumptions).satisfiable
+            if pre.unsat:
+                got = False
+            else:
+                got = _solve(out, assumptions=assumptions).satisfiable
+            assert got is expected
