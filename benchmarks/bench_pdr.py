@@ -1,0 +1,196 @@
+#!/usr/bin/env python
+"""Unbounded-proving benchmark: IC3/PDR across the baseline design suite (JSON).
+
+Every entry in the suite is a (design, property, expected-verdict) triple:
+the bug-free baseline designs must be *proven* (with the emitted inductive
+invariant independently re-checked — initiation, consecution, safety —
+through the ``opt_level=0`` naive reference encoding), the buggy variants
+must be *refuted*, and both verdicts are cross-checked against BMC and
+k-induction wherever those engines conclude.  On top of the suite, one
+frame-bounded PDR run on the golden (bug-free) QED processor model asserts
+the engine never fabricates a counterexample on the real paper workload.
+
+The exit status gates on **correctness only** — verdict agreement and
+invariant validity.  Wall-clock numbers are reported in the JSON for
+curiosity but never asserted: CI runners are single-CPU and timing-gated
+benchmarks there are pure noise.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_pdr.py [--smoke] [--engine pdr|kinduction]
+                                                  [--max-frames N] [--out results.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+from repro.bmc.engine import BmcEngine
+from repro.bmc.kinduction import KInductionEngine
+from repro.core.flow import SqedFlow
+from repro.isa.config import IsaConfig
+from repro.pdr import PdrEngine, check_invariant
+from repro.pdr.designs import (
+    lockstep_accumulators as lockstep,
+    pipelined_accumulators as piped,
+    saturating_counter as counter,
+)
+from repro.proc.config import ProcessorConfig
+from repro.ts.system import TransitionSystem
+
+
+def suite(smoke: bool) -> list[tuple[str, TransitionSystem, str, bool]]:
+    """(name, system, property, expected_proven) for the whole sweep."""
+    entries = [
+        ("counter-good", counter("bp_cg"), "bounded", True),
+        ("counter-buggy", counter("bp_cb", buggy=True), "bounded", False),
+        ("lockstep-good", lockstep("bp_lg"), "consistent", True),
+        ("lockstep-buggy", lockstep("bp_lb", buggy=True), "consistent", False),
+        ("piped-good", piped("bp_pg"), "consistent", True),
+        ("piped-buggy", piped("bp_pb", buggy=True), "consistent", False),
+    ]
+    if not smoke:
+        entries += [
+            ("lockstep-good-8bit", lockstep("bp_lg8", xlen=8), "consistent", True),
+            ("piped-good-8bit", piped("bp_pg8", xlen=8), "consistent", True),
+            (
+                "piped-buggy-8bit",
+                piped("bp_pb8", xlen=8, buggy=True),
+                "consistent",
+                False,
+            ),
+        ]
+    return entries
+
+
+# ----------------------------------------------------------------------- bench
+
+
+def bench_design(
+    name: str,
+    ts: TransitionSystem,
+    prop: str,
+    expected: bool,
+    engine: str,
+    max_frames: int,
+    failures: list[str],
+) -> dict:
+    entry: dict = {"design": name, "property": prop, "expected_proven": expected}
+
+    start = time.perf_counter()
+    if engine == "pdr":
+        result = PdrEngine(ts, max_frames=max_frames).prove(prop)
+        proven = result.proven
+        entry["frames"] = result.frames_explored
+        entry["invariant_clauses"] = (
+            None if result.invariant is None else len(result.invariant)
+        )
+        entry["cex_length"] = result.counterexample_length
+        entry["solver_conflicts"] = result.stats.solver_stats.conflicts
+        if proven is True:
+            check = check_invariant(ts, prop, result.invariant, opt_level=0)
+            entry["invariant_recheck"] = {
+                "initiation": check.initiation,
+                "consecution": check.consecution,
+                "safety": check.safety,
+            }
+            if not check.valid:
+                failures.append(f"{name}: invariant failed the opt0 re-check")
+    else:
+        result = KInductionEngine(ts).prove(prop, max_k=max_frames)
+        proven = result.proven
+        entry["k"] = result.k
+    entry["proven"] = proven
+    entry["seconds"] = round(time.perf_counter() - start, 4)
+
+    if proven is not expected:
+        failures.append(f"{name}: {engine} returned {proven}, expected {expected}")
+
+    # Differential cross-checks: BMC always concludes on these bounds, and
+    # k-induction's conclusive answers must match the prover's.
+    bmc = BmcEngine(ts).check(prop, bound=10)
+    entry["bmc_holds_to_10"] = bmc.holds
+    if bmc.holds is False and proven is not False:
+        failures.append(f"{name}: BMC refutes but {engine} did not")
+    if engine == "pdr":
+        kind = KInductionEngine(ts).prove(prop, max_k=6)
+        entry["kinduction_proven"] = kind.proven
+        if kind.proven is not None and proven is not None and kind.proven != proven:
+            failures.append(
+                f"{name}: k-induction says {kind.proven}, pdr says {proven}"
+            )
+    return entry
+
+
+def bench_golden_processor(failures: list[str]) -> dict:
+    """Frame-bounded PDR on the golden QED model: must never refute."""
+    isa = IsaConfig.small(xlen=4, num_regs=4)
+    config = ProcessorConfig(isa=isa, supported_ops=("ADD", "SUB"))
+    flow = SqedFlow(config)
+    start = time.perf_counter()
+    outcome = flow.prove(None, engine="pdr", max_frames=2)
+    entry = {
+        "design": "qed-golden-4bit",
+        "property": "qed_consistency",
+        "proven": outcome.proven,
+        "frames": outcome.depth,
+        "seconds": round(time.perf_counter() - start, 4),
+        "consecution_queries": outcome.pdr_result.stats.consecution_queries,
+    }
+    if outcome.proven is False:
+        failures.append("qed-golden-4bit: PDR fabricated a counterexample")
+    return entry
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true", help="small suite for CI")
+    parser.add_argument(
+        "--engine",
+        choices=("pdr", "kinduction"),
+        default="pdr",
+        help="unbounded prover to sweep (default: pdr)",
+    )
+    parser.add_argument(
+        "--max-frames",
+        type=int,
+        default=25,
+        help="frame limit (pdr) / depth limit (kinduction) per design",
+    )
+    parser.add_argument("--out", default=None, help="write the JSON report here")
+    args = parser.parse_args(argv)
+
+    failures: list[str] = []
+    designs = [
+        bench_design(
+            name, ts, prop, expected, args.engine, args.max_frames, failures
+        )
+        for name, ts, prop, expected in suite(args.smoke)
+    ]
+    report = {
+        "engine": args.engine,
+        "smoke": args.smoke,
+        "designs": designs,
+        "golden_processor": bench_golden_processor(failures)
+        if args.engine == "pdr"
+        else None,
+        "failures": failures,
+        "gate": "verdicts + invariant re-checks only (never wall-clock)",
+    }
+
+    text = json.dumps(report, indent=2)
+    print(text)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+    if failures:
+        print(f"FAILED: {len(failures)} correctness gate(s) tripped", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

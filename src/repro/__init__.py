@@ -60,8 +60,10 @@ from repro.par import (
     verify_equivalences_parallel,
 )
 from repro.core.flow import SqedFlow, SepeSqedFlow, pool_for_bug
-from repro.core.results import VerificationOutcome
+from repro.core.results import ProofOutcome, VerificationOutcome
 from repro.bmc.engine import BmcEngine, BmcSession
+from repro.bmc.kinduction import KInductionEngine, KInductionResult
+from repro.pdr import InvariantCheck, PdrEngine, PdrResult, check_invariant
 from repro.solve import EncodingStats, PipelineConfig, SolverContext, default_opt_level
 from repro.ts.system import TransitionSystem
 from repro.btor import write_btor2, parse_btor2
@@ -107,9 +109,16 @@ __all__ = [
     "SqedFlow",
     "SepeSqedFlow",
     "pool_for_bug",
+    "ProofOutcome",
     "VerificationOutcome",
     "BmcEngine",
     "BmcSession",
+    "KInductionEngine",
+    "KInductionResult",
+    "InvariantCheck",
+    "PdrEngine",
+    "PdrResult",
+    "check_invariant",
     "EncodingStats",
     "PipelineConfig",
     "SolverContext",

@@ -111,6 +111,8 @@ class KInductionEngine:
         for constraint in step_ts.constraints:
             step_ctx.add(substitute(constraint, frames[0]))
 
+        base: Optional[BmcResult] = None
+
         for k in range(1, max_k + 1):
             # Base case: no counterexample of length <= k from the initial
             # state.  Only the frames beyond the previous depth are checked.
@@ -155,10 +157,14 @@ class KInductionEngine:
                     elapsed_seconds=time.perf_counter() - start,
                     step_solver_stats=step_ctx.stats.copy(),
                 )
+        # max_k exhausted: the last base result still tells the caller the
+        # property held up to that depth (dropping it made the inconclusive
+        # answer indistinguishable from "never even checked the base case").
         return KInductionResult(
             proven=None,
             k=max_k,
             property_name=property_name,
+            base_result=base,
             elapsed_seconds=time.perf_counter() - start,
             step_solver_stats=step_ctx.stats.copy(),
         )

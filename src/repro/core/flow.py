@@ -6,8 +6,10 @@ import time
 from typing import Iterable, Mapping, Optional
 
 from repro.bmc.engine import BmcEngine
-from repro.core.results import VerificationOutcome
+from repro.bmc.kinduction import KInductionEngine
+from repro.core.results import ProofOutcome, VerificationOutcome
 from repro.errors import VerificationError
+from repro.pdr.engine import PdrEngine
 from repro.isa.instructions import get_instruction
 from repro.proc.bugs import Bug
 from repro.proc.config import ProcessorConfig
@@ -135,6 +137,63 @@ class _BaseFlow:
             bound=bound,
             counterexample_length=result.counterexample_length,
             bmc_result=result,
+        )
+
+    #: Engines accepted by :meth:`prove`.
+    PROVE_ENGINES = ("pdr", "kinduction")
+
+    def prove(
+        self,
+        bug: Optional[Bug] = None,
+        engine: str = "pdr",
+        max_k: int = 4,
+        max_frames: int = 20,
+        conflict_budget: Optional[int] = None,
+    ) -> ProofOutcome:
+        """Attempt an *unbounded* proof of the QED consistency property.
+
+        Unlike :meth:`run`, which only searches for counterexamples up to a
+        bound, a ``True`` outcome here means the property holds at **every**
+        depth.  ``engine`` selects the prover: ``"pdr"`` (IC3/PDR, emits an
+        inductive invariant via ``pdr_result.invariant``) or
+        ``"kinduction"``.  ``max_frames`` bounds PDR's frame exploration,
+        ``max_k`` bounds the induction depth, and ``conflict_budget`` caps
+        each SAT query; exhausting any of them yields ``proven=None``.
+        """
+        if engine not in self.PROVE_ENGINES:
+            raise VerificationError(
+                f"unknown proof engine {engine!r}; expected one of {self.PROVE_ENGINES}"
+            )
+        start = time.perf_counter()
+        model = self.build_model(bug)
+        bug_name = None if bug is None else bug.name
+        if engine == "pdr":
+            pdr = PdrEngine(
+                model.ts,
+                backend=self.backend,
+                opt_level=self.opt_level,
+                max_frames=max_frames,
+            ).prove(model.property_name, conflict_budget=conflict_budget)
+            return ProofOutcome(
+                method=self.method,
+                bug_name=bug_name,
+                engine=engine,
+                proven=pdr.proven,
+                runtime_seconds=time.perf_counter() - start,
+                depth=pdr.frames_explored,
+                pdr_result=pdr,
+            )
+        kind = KInductionEngine(
+            model.ts, backend=self.backend, opt_level=self.opt_level
+        ).prove(model.property_name, max_k=max_k, conflict_budget=conflict_budget)
+        return ProofOutcome(
+            method=self.method,
+            bug_name=bug_name,
+            engine=engine,
+            proven=kind.proven,
+            runtime_seconds=time.perf_counter() - start,
+            depth=kind.k,
+            kinduction_result=kind,
         )
 
     def run_many(

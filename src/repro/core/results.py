@@ -3,10 +3,15 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from repro.bmc.engine import BmcResult
+from repro.bmc.kinduction import KInductionResult
 from repro.bmc.trace import Trace
+from repro.pdr.engine import PdrResult
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.smt.terms import BV
 
 
 @dataclass
@@ -45,4 +50,50 @@ class VerificationOutcome:
             status,
             f"{self.runtime_seconds:.2f}s",
             length,
+        ]
+
+
+@dataclass
+class ProofOutcome:
+    """One (method, bug) unbounded proof attempt.
+
+    ``proven`` is ``True`` when the QED consistency property was proven for
+    **every** depth (k-induction converged or PDR found an inductive
+    invariant), ``False`` when a counterexample exists, and ``None`` when
+    the engine gave up (depth/frame limit or conflict budget).  ``depth``
+    is the induction depth ``k`` (k-induction) or the number of frames
+    explored (PDR).
+    """
+
+    method: str
+    bug_name: Optional[str]
+    engine: str
+    proven: Optional[bool]
+    runtime_seconds: float
+    depth: int
+    kinduction_result: Optional[KInductionResult] = None
+    pdr_result: Optional[PdrResult] = None
+
+    @property
+    def invariant(self) -> "Optional[list[BV]]":
+        """The PDR-emitted inductive invariant clauses (``None`` otherwise)."""
+        return None if self.pdr_result is None else self.pdr_result.invariant
+
+    @property
+    def solver_stats(self):
+        """CDCL work counters of the proof engine (``None`` if absent)."""
+        if self.pdr_result is not None:
+            return self.pdr_result.stats.solver_stats
+        if self.kinduction_result is not None:
+            return self.kinduction_result.step_solver_stats
+        return None
+
+    def summary_row(self) -> list[str]:
+        status = {True: "proven", False: "refuted", None: "inconclusive"}[self.proven]
+        return [
+            self.bug_name or "golden",
+            f"{self.method}/{self.engine}",
+            status,
+            f"{self.runtime_seconds:.2f}s",
+            str(self.depth),
         ]

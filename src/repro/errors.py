@@ -47,6 +47,10 @@ class BmcError(ReproError):
     """Bounded-model-checking driver misuse (bad bound, missing property)."""
 
 
+class PdrError(ReproError):
+    """IC3/PDR engine misuse (missing property, invalid configuration)."""
+
+
 class ProcessorError(ReproError):
     """Invalid processor configuration or unknown bug identifier."""
 

@@ -14,7 +14,7 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.core.flow import SepeSqedFlow, SqedFlow, pool_for_bug
-from repro.core.results import VerificationOutcome
+from repro.core.results import ProofOutcome, VerificationOutcome
 from repro.isa.config import IsaConfig
 from repro.par.pool import TaskPool
 from repro.proc.bugs import Bug, single_instruction_bugs
@@ -51,6 +51,15 @@ class Table1Config:
     #: Compilation-pipeline level for every solver in the experiment
     #: (``None`` = process default, see :mod:`repro.solve.pipeline`).
     opt_level: Optional[int] = None
+    #: Engine for the SQED column: ``"bmc"`` (the paper's bounded check, the
+    #: default) or an unbounded prover (``"kinduction"`` / ``"pdr"``) that
+    #: upgrades the dash to a *proof* that SQED cannot detect the bug at any
+    #: depth.  The unbounded engines can be slow on full-size processor
+    #: configurations; they are opt-in.
+    engine: str = "bmc"
+    #: Depth limits for the unbounded SQED engines.
+    sqed_max_k: int = 4
+    sqed_max_frames: int = 10
 
 
 @dataclass
@@ -58,6 +67,9 @@ class Table1Row:
     bug: Bug
     sepe: VerificationOutcome
     sqed: VerificationOutcome
+    #: Populated when the SQED column ran an unbounded engine
+    #: (``Table1Config.engine != "bmc"``).
+    sqed_proof: Optional[ProofOutcome] = None
 
 
 @dataclass
@@ -74,7 +86,16 @@ class Table1Result:
                 if row.sepe.detected
                 else ("inconclusive" if row.sepe.detected is None else "MISSED")
             )
-            sqed_cell = "-" if not row.sqed.detected else f"FALSE DETECTION {row.sqed.runtime_seconds:.2f}s"
+            if row.sqed.detected:
+                sqed_cell = f"FALSE DETECTION {row.sqed.runtime_seconds:.2f}s"
+            elif row.sqed_proof is not None and row.sqed_proof.proven:
+                # The unbounded engine upgraded the dash to a proof.
+                sqed_cell = (
+                    f"- (proven absent, {row.sqed_proof.engine} "
+                    f"depth {row.sqed_proof.depth})"
+                )
+            else:
+                sqed_cell = "-"
             table.add_row(
                 [row.bug.target_ops[0], row.bug.description, sepe_cell, sqed_cell]
             )
@@ -100,7 +121,9 @@ def run_table1(config: Table1Config | None = None) -> Table1Result:
         requested = {name for name in config.bug_names}
         bugs = [bug for bug in bugs if bug.name in requested]
 
-    def row_task(bug: Bug) -> tuple[VerificationOutcome, VerificationOutcome]:
+    def row_task(
+        bug: Bug,
+    ) -> tuple[VerificationOutcome, VerificationOutcome, Optional[ProofOutcome]]:
         pool = pool_for_bug(bug, equivalents_all)
         proc_config = ProcessorConfig(isa=isa, supported_ops=pool)
         equivalents = {
@@ -116,15 +139,44 @@ def run_table1(config: Table1Config | None = None) -> Table1Result:
             proc_config, fifo_depth=config.fifo_depth, opt_level=config.opt_level
         )
         sepe_outcome = sepe.run(bug, bound=config.sepe_bound)
-        sqed_outcome = sqed.run(
-            bug, bound=config.sqed_bound, conflict_budget=config.sqed_conflict_budget
+        if config.engine == "bmc":
+            sqed_outcome = sqed.run(
+                bug,
+                bound=config.sqed_bound,
+                conflict_budget=config.sqed_conflict_budget,
+            )
+            return sepe_outcome, sqed_outcome, None
+        # Unbounded SQED column: prove (rather than bound-check) that the
+        # self-consistency property survives the bug.
+        sqed_proof = sqed.prove(
+            bug,
+            engine=config.engine,
+            max_k=config.sqed_max_k,
+            max_frames=config.sqed_max_frames,
+            conflict_budget=config.sqed_conflict_budget,
         )
-        return sepe_outcome, sqed_outcome
+        detected: Optional[bool]
+        if sqed_proof.proven is None:
+            detected = None
+        else:
+            detected = not sqed_proof.proven
+        sqed_outcome = VerificationOutcome(
+            method="SQED",
+            bug_name=bug.name,
+            detected=detected,
+            runtime_seconds=sqed_proof.runtime_seconds,
+            bound=sqed_proof.depth,
+        )
+        return sepe_outcome, sqed_outcome, sqed_proof
 
     result = Table1Result()
     outcomes = TaskPool(config.jobs).map(row_task, bugs)
-    for bug, (sepe_outcome, sqed_outcome) in zip(bugs, outcomes):
-        result.rows.append(Table1Row(bug=bug, sepe=sepe_outcome, sqed=sqed_outcome))
+    for bug, (sepe_outcome, sqed_outcome, sqed_proof) in zip(bugs, outcomes):
+        result.rows.append(
+            Table1Row(
+                bug=bug, sepe=sepe_outcome, sqed=sqed_outcome, sqed_proof=sqed_proof
+            )
+        )
     return result
 
 
@@ -144,10 +196,23 @@ def main() -> None:  # pragma: no cover - CLI entry point
         default=None,
         help="compilation pipeline level (default: $REPRO_OPT_LEVEL or 2)",
     )
+    parser.add_argument(
+        "--engine",
+        choices=("bmc", "kinduction", "pdr"),
+        default="bmc",
+        help=(
+            "SQED-column engine: bounded 'bmc' (paper-faithful, default) or "
+            "an unbounded prover ('kinduction'/'pdr') that turns the dash "
+            "into a proof of non-detection"
+        ),
+    )
     args = parser.parse_args()
 
     config = Table1Config(
-        bug_names=list(QUICK_BUGS), jobs=args.jobs, opt_level=args.opt_level
+        bug_names=list(QUICK_BUGS),
+        jobs=args.jobs,
+        opt_level=args.opt_level,
+        engine=args.engine,
     )
     if args.full:
         config.bug_names = None

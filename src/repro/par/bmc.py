@@ -25,6 +25,7 @@ below the smallest violation makes the overall verdict inconclusive.
 
 from __future__ import annotations
 
+import dataclasses
 import multiprocessing
 import time
 from typing import Iterable, Optional, Sequence
@@ -40,6 +41,7 @@ from repro.bmc.engine import (
 from repro.bmc.kinduction import KInductionEngine, KInductionResult
 from repro.errors import BmcError
 from repro.par.pool import TaskPool, resolve_jobs
+from repro.pdr.engine import PdrEngine, PdrResult, cube_clause_term
 from repro.smt import terms as T
 from repro.solve.context import SolverContext
 from repro.solve.pipeline import PipelineConfig
@@ -76,16 +78,44 @@ def prove_properties_parallel(
     backend: str = "cdcl",
     conflict_budget: Optional[int] = None,
     opt_level: Optional[int] = None,
-) -> dict[str, KInductionResult]:
-    """Run one k-induction engine per property, ``jobs`` at a time."""
+    engine: str = "kinduction",
+    max_frames: int = 20,
+) -> "dict[str, KInductionResult | PdrResult]":
+    """Run one proof engine per property, ``jobs`` at a time.
+
+    ``engine`` selects the prover per property: ``"kinduction"`` (the
+    default, bounded by ``max_k``) or ``"pdr"`` (IC3/PDR, bounded by
+    ``max_frames``; its results carry the inductive invariant of every
+    proven property).  Verdicts are identical to running the same engine
+    sequentially per property.
+    """
+    if engine not in ("kinduction", "pdr"):
+        raise BmcError(
+            f"unknown proof engine {engine!r}; expected 'kinduction' or 'pdr'"
+        )
     names = list(property_names)
 
-    def task(name: str) -> KInductionResult:
+    def task(name: str) -> "KInductionResult | PdrResult":
+        if engine == "pdr":
+            result = PdrEngine(
+                ts, backend=backend, opt_level=opt_level, max_frames=max_frames
+            ).prove(name, conflict_budget=conflict_budget)
+            # BV terms are interned per process: a worker-built term pickled
+            # back to the parent keeps a worker-local tid and would silently
+            # collide with unrelated parent terms in every tid-keyed cache.
+            # Ship only the picklable cube form; the parent rebuilds below.
+            return dataclasses.replace(result, invariant=None)
         return KInductionEngine(ts, backend=backend, opt_level=opt_level).prove(
             name, max_k=max_k, conflict_budget=conflict_budget
         )
 
     results = TaskPool(jobs).map(task, names)
+    if engine == "pdr":
+        for result in results:
+            if result.invariant_cubes is not None:
+                result.invariant = [
+                    cube_clause_term(ts, cube) for cube in result.invariant_cubes
+                ]
     return dict(zip(names, results))
 
 

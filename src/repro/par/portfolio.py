@@ -180,6 +180,13 @@ class PortfolioSolver:
                     process.terminate()
             for process in processes.values():
                 process.join(timeout=1.0)
+            # A loser stuck in uninterruptible work (or with SIGTERM masked
+            # by a C extension) survives terminate(): escalate to SIGKILL
+            # and reap unconditionally so no zombie outlives the call.
+            for process in processes.values():
+                if process.is_alive():
+                    process.kill()
+                process.join()
 
     @staticmethod
     def _check_sequential(config, assertions, assumptions, need_model) -> PortfolioResult:

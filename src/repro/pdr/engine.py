@@ -1,0 +1,775 @@
+"""IC3/PDR: unbounded safety proofs by incremental induction.
+
+The engine maintains a sequence of *frames* ``F_0 .. F_N`` — over-
+approximations of the states reachable in at most ``i`` steps, with
+``F_0 = Init`` — each represented as a set of blocked cubes (their negated
+clauses).  Bad states found at the frontier spawn *proof obligations* that
+are pushed backwards through the frames; an obligation that reaches frame 0
+(or whose state turns out to lie in ``Init``) is a real counterexample,
+while an obligation refuted by a *relative induction* query is blocked and
+generalised into a stronger clause.  When a propagation pass leaves some
+frame identical to its successor, that frame is an inductive invariant and
+the property is proven for **all** depths.
+
+Everything runs on the PR-1 incremental substrate:
+
+* four persistent :class:`~repro.solve.context.SolverContext` instances
+  (consecution, bad-state, initiation, bad-state lifting) keep their
+  learned clauses across the thousands of queries a run makes;
+* frames are *activation variables*: a clause blocked at frame ``i`` is
+  asserted as ``act_i -> clause`` and every query simply assumes the
+  activation variables of the frames it reads — no solver rebuild, ever;
+* inductive generalisation is driven by **failed-assumption cores**: the
+  cube literals of a refuted obligation are passed as per-literal
+  assumptions, and the solver's final-conflict analysis reports which of
+  them the refutation actually needed — the rest are dropped for free.
+
+Frames use the standard *delta encoding*: each cube is stored only at the
+highest frame whose relative-induction query blocks it, and ``F_i`` is the
+union of the cubes stored at frames ``>= i`` (frames weaken monotonically).
+"""
+
+from __future__ import annotations
+
+import heapq
+import time
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.bmc.engine import prepare_property_system
+from repro.errors import PdrError
+from repro.sat.solver import SolverStats
+from repro.smt import terms as T
+from repro.smt.evaluator import evaluate, free_variables, substitute
+from repro.smt.terms import BV
+from repro.solve.context import SolverContext
+from repro.solve.pipeline import PipelineConfig
+from repro.ts.system import TransitionSystem
+
+#: A cube literal: state variable name, bit index, required value.
+CubeLit = tuple[str, int, bool]
+
+#: A cube — a partial assignment of state bits, as a sorted literal tuple.
+Cube = tuple[CubeLit, ...]
+
+
+def cube_clause_term(ts: TransitionSystem, cube: Cube) -> BV:
+    """The blocked cube's clause ``¬cube`` over ``ts``'s state symbols.
+
+    Also the bridge for results that crossed a process boundary: cubes are
+    plain picklable tuples, while ``BV`` terms are interned per process and
+    must be rebuilt on arrival (see
+    :func:`repro.par.bmc.prove_properties_parallel`).
+    """
+    parts = []
+    for name, bit, value in cube:
+        term = T.bv_extract(ts.state_symbol(name), bit, bit)
+        parts.append(T.bv_not(term) if value else term)
+    return T.bv_or_all(parts)
+
+
+@dataclass
+class PdrStats:
+    """Work counters of one IC3/PDR run."""
+
+    bad_queries: int = 0
+    consecution_queries: int = 0
+    init_queries: int = 0
+    lift_queries: int = 0
+    obligations: int = 0
+    cubes_blocked: int = 0
+    clauses_pushed: int = 0
+    #: Literals removed by core-driven + mic-style generalisation.
+    literals_dropped: int = 0
+    solver_stats: SolverStats = field(default_factory=SolverStats)
+
+
+@dataclass
+class PdrResult:
+    """Outcome of an IC3/PDR proof attempt.
+
+    ``proven`` is ``True`` when an inductive invariant was found (the
+    property holds at *every* depth), ``False`` when a concrete
+    counterexample trace exists, and ``None`` when the engine gave up
+    (frame limit or conflict budget).
+
+    On success ``invariant`` holds the clauses of the inductive frame as
+    width-1 terms over the *state symbols* of the transition system; their
+    conjunction ``Inv`` satisfies — under the system's global constraints —
+    initiation (``Init => Inv``), consecution (``Inv ∧ T => Inv'``) and
+    safety (``Inv => P``).  Re-check it independently with
+    :func:`repro.pdr.invariant.check_invariant`.
+
+    On failure ``cex_chain`` is a list of full state assignments (name ->
+    value) from an initial state to a property-violating state.
+    """
+
+    proven: Optional[bool]
+    property_name: str
+    frames_explored: int = 0
+    invariant: Optional[list[BV]] = None
+    #: The same invariant as picklable ``(state, bit, value)`` cubes (one
+    #: blocked cube per clause).  Unlike the ``BV`` terms — which are
+    #: interned per process and must never cross a fork boundary — this
+    #: form survives pickling; rebuild the terms with
+    #: :func:`cube_clause_term`.
+    invariant_cubes: Optional[list[Cube]] = None
+    #: Frame index that became inductive (informational).
+    invariant_frame: Optional[int] = None
+    cex_chain: Optional[list[dict[str, int]]] = None
+    elapsed_seconds: float = 0.0
+    stats: PdrStats = field(default_factory=PdrStats)
+
+    @property
+    def invariant_term(self) -> Optional[BV]:
+        """The invariant clauses conjoined into a single width-1 term."""
+        if self.invariant is None:
+            return None
+        return T.bv_and_all(self.invariant) if self.invariant else T.bv_true()
+
+    @property
+    def counterexample_length(self) -> Optional[int]:
+        return None if self.cex_chain is None else len(self.cex_chain)
+
+
+class _GiveUp(Exception):
+    """Internal: a query exhausted its conflict budget."""
+
+
+class _Obligation:
+    """A cube of states that must be excluded from a frame, or traced to Init.
+
+    ``cube`` may be *lifted* (partial): every state in it steps — under the
+    inputs its lifting query fixed — into the successor obligation's cube.
+    ``state`` keeps the concrete solver model the cube was extracted from.
+    """
+
+    __slots__ = ("cube", "frame", "state", "successor")
+
+    def __init__(
+        self,
+        cube: Cube,
+        frame: int,
+        state: dict[str, int],
+        successor: "Optional[_Obligation]" = None,
+    ):
+        self.cube = cube
+        self.frame = frame
+        self.state = state
+        #: The obligation this cube is a predecessor of (towards the
+        #: property violation); ``None`` for the bad cube itself.
+        self.successor = successor
+
+
+class PdrEngine:
+    """Prove (or refute) safety properties with IC3/PDR.
+
+    ``max_frames`` bounds the number of frames explored before giving up
+    (``proven=None``); ``generalize=False`` disables the extra literal-
+    dropping pass after the core-driven drop (the core drop itself is free
+    and always on).  ``conflict_budget`` caps each individual SAT query;
+    an exhausted budget aborts the run with ``proven=None``.
+    """
+
+    def __init__(
+        self,
+        ts: TransitionSystem,
+        backend: str = "cdcl",
+        opt_level: "PipelineConfig | int | None" = None,
+        max_frames: int = 100,
+        generalize: bool = True,
+    ):
+        ts.validate()
+        if max_frames < 1:
+            raise PdrError(f"max_frames must be >= 1, got {max_frames}")
+        self.ts = ts
+        self.backend = backend
+        self.pipeline = PipelineConfig.resolve(opt_level)
+        self.max_frames = max_frames
+        self.generalize = generalize
+
+    def prove(
+        self,
+        property_name: str,
+        max_frames: Optional[int] = None,
+        conflict_budget: Optional[int] = None,
+    ) -> PdrResult:
+        """Run IC3/PDR on ``property_name``."""
+        if property_name not in self.ts.properties:
+            raise PdrError(f"unknown property {property_name!r}")
+        run = _PdrRun(
+            self.ts,
+            property_name,
+            backend=self.backend,
+            pipeline=self.pipeline,
+            max_frames=max_frames if max_frames is not None else self.max_frames,
+            generalize=self.generalize,
+            conflict_budget=conflict_budget,
+        )
+        return run.prove()
+
+
+class _PdrRun:
+    """All per-run state of one :meth:`PdrEngine.prove` call."""
+
+    def __init__(
+        self,
+        ts: TransitionSystem,
+        property_name: str,
+        backend: str,
+        pipeline: PipelineConfig,
+        max_frames: int,
+        generalize: bool,
+        conflict_budget: Optional[int],
+    ):
+        self.property_name = property_name
+        self.max_frames = max_frames
+        self.generalize = generalize
+        self.conflict_budget = conflict_budget
+        self.stats = PdrStats()
+
+        # The property only needs its cone of influence (same reduction the
+        # BMC/k-induction engines apply); invariant clauses stay valid for
+        # the original system because kept states keep their next functions.
+        reduced, _reduction = prepare_property_system(ts, property_name, pipeline)
+        self.ts = reduced
+        prop = reduced.properties[property_name]
+
+        # One shared set of "current state" / input variables for all three
+        # contexts: terms are hash-consed globally, so each context blasts
+        # the same term graph into its own clause space.
+        self._state_widths: dict[str, int] = {}
+        curr_map: dict[BV, BV] = {}
+        self._curr_vars: dict[str, BV] = {}
+        for state in reduced.states:
+            var = T.fresh_var(f"pdr_{state.name}", state.width)
+            self._state_widths[state.name] = state.width
+            self._curr_vars[state.name] = var
+            curr_map[state.symbol] = var
+        input_map: dict[BV, BV] = {}
+        next_input_map: dict[BV, BV] = {}
+        for symbol in reduced.inputs:
+            assert symbol.name is not None
+            input_map[symbol] = T.fresh_var(f"pdr_in_{symbol.name}", symbol.width)
+            next_input_map[symbol] = T.fresh_var(
+                f"pdr_in1_{symbol.name}", symbol.width
+            )
+        full_curr = {**curr_map, **input_map}
+
+        # next(S, I) per state, and the frame-1 mapping for constraints'.
+        self._next_exprs: dict[str, BV] = {}
+        next_map: dict[BV, BV] = dict(next_input_map)
+        for state in reduced.states:
+            assert state.next is not None
+            expr = substitute(state.next, full_curr)
+            self._next_exprs[state.name] = expr
+            next_map[state.symbol] = expr
+
+        init_parts = []
+        for state in reduced.states:
+            if state.init is not None:
+                init_parts.append(
+                    T.bv_eq(self._curr_vars[state.name], substitute(state.init, full_curr))
+                )
+        self._init_term = T.bv_and_all(init_parts) if init_parts else T.bv_true()
+
+        constraints_curr = [substitute(c, full_curr) for c in reduced.constraints]
+        constraints_next = [substitute(c, next_map) for c in reduced.constraints]
+        self._prop_curr = substitute(prop, full_curr)
+        self._not_prop_curr = T.bv_not(self._prop_curr)
+
+        # Consecution context: one transition relation, frames as
+        # activation-guarded clauses, queried backwards from every frame.
+        self._cons = SolverContext(backend=backend, opt_level=pipeline)
+        for term in constraints_curr:
+            self._cons.add(term)
+        for term in constraints_next:
+            self._cons.add(term)
+        # Bad-state context: no transition, permanently asserts ¬P.
+        self._bad = SolverContext(backend=backend, opt_level=pipeline)
+        for term in constraints_curr:
+            self._bad.add(term)
+        self._bad.add(self._not_prop_curr)
+        # Initiation context: Init plus the step constraints.
+        self._init = SolverContext(backend=backend, opt_level=pipeline)
+        for term in constraints_curr:
+            self._init.add(term)
+        self._init.add(self._init_term)
+        # Lifting context for bad states: asserts P, so a bad state's cube
+        # literals are jointly UNSAT and the core names the bits that
+        # already force the violation.
+        self._safe = SolverContext(backend=backend, opt_level=pipeline)
+        for term in constraints_curr:
+            self._safe.add(term)
+        self._safe.add(self._prop_curr)
+
+        # Frame activation variables and delta-encoded cube store.
+        # acts[0] guards Init inside the consecution context; acts[i >= 1]
+        # guard the clauses stored at frame i (in cons and bad contexts).
+        self._acts: list[BV] = []
+        self._frames: list[list[Cube]] = []
+        self._ensure_frame(0)
+        self._cons.add(T.bv_or(T.bv_not(self._acts[0]), self._init_term))
+
+        # Cached bit-literal terms.
+        self._curr_bits: dict[tuple[str, int], BV] = {}
+        self._next_bits: dict[tuple[str, int], BV] = {}
+        self._input_bits: dict[tuple[str, int], BV] = {}
+        self._input_vars: dict[str, BV] = {
+            symbol.name: input_map[symbol] for symbol in reduced.inputs
+        }
+        self._input_widths: dict[str, int] = {
+            symbol.name: symbol.width for symbol in reduced.inputs
+        }
+
+    # ------------------------------------------------------------ frame store
+
+    def _ensure_frame(self, k: int) -> None:
+        while len(self._acts) <= k:
+            index = len(self._acts)
+            self._acts.append(
+                T.fresh_var(f"pdr_act{index}_{self.property_name}", 1)
+            )
+            self._frames.append([])
+
+    def _frame_assumptions(self, k: int) -> list[BV]:
+        """Activation variables selecting ``F_k`` (frames ``k..top``)."""
+        return self._acts[k:]
+
+    # ------------------------------------------------------------- cube terms
+
+    def _curr_bit(self, name: str, bit: int) -> BV:
+        key = (name, bit)
+        term = self._curr_bits.get(key)
+        if term is None:
+            term = T.bv_extract(self._curr_vars[name], bit, bit)
+            self._curr_bits[key] = term
+        return term
+
+    def _next_bit(self, name: str, bit: int) -> BV:
+        key = (name, bit)
+        term = self._next_bits.get(key)
+        if term is None:
+            term = T.bv_extract(self._next_exprs[name], bit, bit)
+            self._next_bits[key] = term
+        return term
+
+    def _lit_curr(self, lit: CubeLit) -> BV:
+        name, bit, value = lit
+        term = self._curr_bit(name, bit)
+        return term if value else T.bv_not(term)
+
+    def _lit_next(self, lit: CubeLit) -> BV:
+        name, bit, value = lit
+        term = self._next_bit(name, bit)
+        return term if value else T.bv_not(term)
+
+    def _input_lit(self, name: str, bit: int, value: bool) -> BV:
+        key = (name, bit)
+        term = self._input_bits.get(key)
+        if term is None:
+            term = T.bv_extract(self._input_vars[name], bit, bit)
+            self._input_bits[key] = term
+        return term if value else T.bv_not(term)
+
+    def _clause_curr(self, cube: Cube) -> BV:
+        """``¬cube`` over the current-state variables."""
+        return T.bv_or_all([T.bv_not(self._lit_curr(lit)) for lit in cube])
+
+    def _clause_symbols(self, cube: Cube) -> BV:
+        """``¬cube`` over the transition system's state symbols."""
+        return cube_clause_term(self.ts, cube)
+
+    def _extract_cube(self, model: dict[str, int]) -> tuple[Cube, dict[str, int]]:
+        """Full-state cube (and state assignment) from a solver model."""
+        lits: list[CubeLit] = []
+        state: dict[str, int] = {}
+        for name, width in self._state_widths.items():
+            value = model.get(self._curr_vars[name].name or "", 0)
+            state[name] = value
+            for bit in range(width):
+                lits.append((name, bit, bool((value >> bit) & 1)))
+        return tuple(sorted(lits)), state
+
+    # ---------------------------------------------------------------- queries
+
+    def _check(self, ctx: SolverContext, assumptions, need_model: bool):
+        result = ctx.check(
+            assumptions=assumptions,
+            conflict_budget=self.conflict_budget,
+            full_model=need_model,
+            need_model=need_model,
+        )
+        if result.satisfiable is None:
+            raise _GiveUp()
+        return result
+
+    def _intersects_init(self, cube: Cube) -> bool:
+        """Does any ``Init``-state (satisfying the constraints) match ``cube``?"""
+        self.stats.init_queries += 1
+        result = self._check(
+            self._init,
+            [self._lit_curr(lit) for lit in cube],
+            need_model=False,
+        )
+        return bool(result.satisfiable)
+
+    def _init_state_in(self, cube: Cube) -> Optional[dict[str, int]]:
+        """A concrete initial state inside ``cube``, or ``None``."""
+        self.stats.init_queries += 1
+        result = self._check(
+            self._init,
+            [self._lit_curr(lit) for lit in cube],
+            need_model=True,
+        )
+        if not result.satisfiable:
+            return None
+        _cube, state = self._extract_cube(result.model)
+        return state
+
+    def _extract_input_lits(self, model: dict[str, int]) -> list[BV]:
+        """The model's input assignment as per-bit assumption terms."""
+        lits: list[BV] = []
+        for name, width in self._input_widths.items():
+            value = model.get(self._input_vars[name].name or "", 0)
+            for bit in range(width):
+                lits.append(self._input_lit(name, bit, bool((value >> bit) & 1)))
+        return lits
+
+    def _lift_cube(self, cube: Cube, core: Optional[list[BV]]) -> Cube:
+        """Keep only the cube literals named by a failed-assumption core."""
+        if core is None:
+            return cube
+        core_ids = {term.tid for term in core}
+        lifted = tuple(
+            lit for lit in cube if self._lit_curr(lit).tid in core_ids
+        )
+        return lifted if lifted else cube
+
+    def _lift_bad(self, cube: Cube) -> Cube:
+        """Shrink a bad state to the bits that already force ``¬P``.
+
+        The lifting context asserts ``P``, so the state's literals are
+        jointly UNSAT there and the core names the responsible bits: every
+        state matching them (and the constraints) violates the property.
+        """
+        self.stats.lift_queries += 1
+        result = self._check(
+            self._safe, [self._lit_curr(lit) for lit in cube], need_model=False
+        )
+        if result.satisfiable is not False:
+            return cube
+        return self._lift_cube(cube, result.core)
+
+    def _lift_predecessor(self, cube: Cube, input_lits: list[BV], succ: Cube) -> Cube:
+        """Shrink a concrete predecessor to the bits forcing the transition.
+
+        The transition functions are deterministic, so the predecessor's
+        state and input literals together with ``¬succ'`` are UNSAT in the
+        consecution context; the core's state literals describe a whole
+        family of states that — under the same inputs — all step into the
+        successor cube.  (The frame clauses asserted in the context are
+        activation-guarded and their activation variables are left free, so
+        they cannot contribute to the refutation.)
+        """
+        self.stats.lift_queries += 1
+        not_succ_next = T.bv_or_all(
+            [T.bv_not(self._lit_next(lit)) for lit in succ]
+        )
+        assumptions = [self._lit_curr(lit) for lit in cube]
+        assumptions.extend(input_lits)
+        assumptions.append(not_succ_next)
+        result = self._check(self._cons, assumptions, need_model=False)
+        if result.satisfiable is not False:
+            return cube
+        return self._lift_cube(cube, result.core)
+
+    def _relative_induction(self, cube: Cube, frame: int, need_model: bool = True):
+        """SAT query ``F_{frame-1} ∧ ¬cube ∧ T ∧ cube'``.
+
+        UNSAT means no ``F_{frame-1}``-state outside the cube can step into
+        it, so its negated clause may strengthen frames ``1..frame``.  The
+        per-literal ``cube'`` assumptions make the failed-assumption core
+        name exactly the literals the refutation needed.  Callers that only
+        consume the verdict/core (generalisation trials) pass
+        ``need_model=False`` — model reconstruction through the
+        preprocessor's eliminated variables is the most expensive part of a
+        SAT answer.
+        """
+        self.stats.consecution_queries += 1
+        assumptions = list(self._frame_assumptions(frame - 1))
+        assumptions.append(self._clause_curr(cube))
+        assumptions.extend(self._lit_next(lit) for lit in cube)
+        return self._check(self._cons, assumptions, need_model=need_model)
+
+    # ------------------------------------------------------ counterexamples
+
+    def _state_lits(self, state: dict[str, int]) -> list[BV]:
+        """Every bit of a concrete state as current-frame assumption terms."""
+        lits: list[BV] = []
+        for name, width in self._state_widths.items():
+            value = state.get(name, 0)
+            for bit in range(width):
+                lits.append(
+                    self._lit_curr((name, bit, bool((value >> bit) & 1)))
+                )
+        return lits
+
+    def _concretize_step(
+        self, state: dict[str, int], succ_cube: Cube
+    ) -> Optional[dict[str, int]]:
+        """A concrete successor of ``state`` inside ``succ_cube`` (or ``None``)."""
+        assumptions = self._state_lits(state)
+        assumptions.extend(self._lit_next(lit) for lit in succ_cube)
+        result = self._check(self._cons, assumptions, need_model=True)
+        if not result.satisfiable:
+            return None
+        assignment = dict(result.model)
+        successor: dict[str, int] = {}
+        for name, expr in self._next_exprs.items():
+            for var in free_variables(expr):
+                assignment.setdefault(var.name or "", 0)
+            successor[name] = evaluate(expr, assignment)
+        return successor
+
+    def _build_cex(
+        self, start_state: dict[str, int], ob: _Obligation
+    ) -> list[dict[str, int]]:
+        """Concretise the obligation chain into an executable state sequence.
+
+        ``start_state`` is an initial state inside ``ob.cube``.  Each link
+        re-queries the transition for a concrete successor in the next
+        obligation's (possibly lifted) cube, so the returned chain is a real
+        run of the system, not just a sequence of abstract cubes.
+        """
+        states = [dict(start_state)]
+        node = ob.successor
+        current = start_state
+        while node is not None:
+            successor = self._concretize_step(current, node.cube)
+            if successor is None:
+                # Only possible when the global constraints admit dead-end
+                # states (no constraint-satisfying input); the abstract
+                # chain is then unrealisable and the verdict would be
+                # unsound — fail loudly instead of guessing.
+                raise PdrError(
+                    "counterexample concretisation hit a constraint dead end; "
+                    "the design's constraints admit states without successors"
+                )
+            states.append(successor)
+            current = successor
+            node = node.successor
+        return states
+
+    # ----------------------------------------------------------- strengthening
+
+    def _add_blocked(self, cube: Cube, frame: int) -> None:
+        """Store ``¬cube`` at ``frame`` (delta encoding) in both contexts."""
+        self._ensure_frame(frame)
+        self._frames[frame].append(cube)
+        guard = T.bv_not(self._acts[frame])
+        clause = T.bv_or(guard, self._clause_curr(cube))
+        self._cons.add(clause)
+        self._bad.add(clause)
+        self.stats.cubes_blocked += 1
+
+    def _is_blocked(self, cube: Cube, frame: int) -> bool:
+        """Syntactic subsumption: a stored cube at ``>= frame`` covers this one."""
+        lits = set(cube)
+        for level in range(frame, len(self._frames)):
+            for blocked in self._frames[level]:
+                if lits.issuperset(blocked):
+                    return True
+        return False
+
+    def _core_shrink(
+        self, lits: list[CubeLit], core: Optional[list[BV]]
+    ) -> list[CubeLit]:
+        """Drop every literal whose primed assumption the core did not need.
+
+        Sound without re-querying: the kept assumptions are a superset of
+        the core, and the shrunken ``¬cube`` assumption only strengthens
+        the query.  Dropping literals can make the cube reach into
+        ``Init``; re-add dropped literals until it is disjoint again (the
+        original cube is Init-disjoint, so the repair terminates).
+        """
+        if core is None:
+            return lits
+        core_ids = {term.tid for term in core}
+        kept = [lit for lit in lits if self._lit_next(lit).tid in core_ids]
+        dropped = [lit for lit in lits if self._lit_next(lit).tid not in core_ids]
+        if not dropped:
+            # Nothing shrank: the input cube is already known Init-disjoint,
+            # so skip the (solver-query) repair check entirely.
+            return kept
+        while not kept or self._intersects_init(tuple(sorted(kept))):
+            if not dropped:
+                kept = list(lits)
+                break
+            kept.append(dropped.pop())
+        self.stats.literals_dropped += len(lits) - len(kept)
+        return kept
+
+    def _generalize(self, cube: Cube, frame: int, core: Optional[list[BV]]) -> Cube:
+        """Shrink a refuted cube while keeping it refuted and Init-disjoint.
+
+        The free shrink comes from the blocking query's own core
+        (:meth:`_core_shrink`).  With ``generalize`` on, a MIC-style pass
+        then tries to drop each surviving literal with a verdict-only
+        relative-induction query — and every successful trial's *own* core
+        shrinks the cube further, so one query often removes several
+        literals at once.
+        """
+        kept = self._core_shrink(list(cube), core)
+        if self.generalize and len(kept) > 1:
+            for lit in list(kept):
+                if len(kept) <= 1:
+                    break
+                if lit not in kept:
+                    continue  # already dropped by an earlier trial's core
+                candidate = [q for q in kept if q != lit]
+                trial = tuple(sorted(candidate))
+                if self._intersects_init(trial):
+                    continue
+                result = self._relative_induction(trial, frame, need_model=False)
+                if result.satisfiable is False:
+                    self.stats.literals_dropped += 1
+                    kept = self._core_shrink(candidate, result.core)
+        return tuple(sorted(kept))
+
+    # ------------------------------------------------------------- main loop
+
+    def _block_obligation(self, bad: _Obligation, frontier: int) -> bool:
+        """Discharge ``bad`` (a frontier bad cube); False means counterexample."""
+        queue: list[tuple[int, int, _Obligation]] = []
+        seq = 0
+        heapq.heappush(queue, (bad.frame, seq, bad))
+        while queue:
+            frame, _, ob = heapq.heappop(queue)
+            self.stats.obligations += 1
+            if frame == 0:
+                # The cube came from a query that assumed F_0 = Init, so
+                # its stored model state is a real initial state.
+                self._cex = self._build_cex(ob.state, ob)
+                return False
+            init_state = self._init_state_in(ob.cube)
+            if init_state is not None:
+                # A lifted cube may reach into Init even though the state
+                # it was extracted from does not: that is still a real
+                # counterexample, every cube state steps into the chain.
+                self._cex = self._build_cex(init_state, ob)
+                return False
+            if self._is_blocked(ob.cube, frame):
+                continue
+            result = self._relative_induction(ob.cube, frame)
+            if result.satisfiable is False:
+                cube = self._generalize(ob.cube, frame, result.core)
+                self._add_blocked(cube, frame)
+                if frame < frontier:
+                    # Chase the same cube at the next frame: its states may
+                    # still be reachable in more steps within the frontier.
+                    seq += 1
+                    heapq.heappush(queue, (frame + 1, seq, _Obligation(
+                        ob.cube, frame + 1, ob.state, ob.successor
+                    )))
+            else:
+                pred_cube, pred_state = self._extract_cube(result.model)
+                pred_cube = self._lift_predecessor(
+                    pred_cube, self._extract_input_lits(result.model), ob.cube
+                )
+                seq += 1
+                heapq.heappush(
+                    queue,
+                    (frame - 1, seq, _Obligation(pred_cube, frame - 1, pred_state, ob)),
+                )
+                seq += 1
+                heapq.heappush(queue, (frame, seq, ob))
+        return True
+
+    def _propagate(self, frontier: int) -> Optional[int]:
+        """Push clauses forward; returns the index of an inductive frame."""
+        self._ensure_frame(frontier + 1)
+        for level in range(1, frontier + 1):
+            for cube in list(self._frames[level]):
+                result = self._relative_induction(cube, level + 1)
+                if result.satisfiable is False:
+                    self._frames[level].remove(cube)
+                    self._add_blocked(cube, level + 1)
+                    self.stats.cubes_blocked -= 1  # moved, not newly blocked
+                    self.stats.clauses_pushed += 1
+            if not self._frames[level]:
+                return level
+        return None
+
+    def _collect_stats(self) -> PdrStats:
+        merged = SolverStats()
+        for ctx in (self._cons, self._bad, self._init, self._safe):
+            merged.merge(ctx.stats.copy())
+        self.stats.solver_stats = merged
+        return self.stats
+
+    def _result(self, start: float, **kwargs) -> PdrResult:
+        return PdrResult(
+            property_name=self.property_name,
+            elapsed_seconds=time.perf_counter() - start,
+            stats=self._collect_stats(),
+            **kwargs,
+        )
+
+    def prove(self) -> PdrResult:
+        start = time.perf_counter()
+        self._cex: Optional[list[dict[str, int]]] = None
+        frontier = 0
+        try:
+            # Depth 0: an initial state violating P needs no frames.
+            self.stats.init_queries += 1
+            base = self._check(
+                self._init, [self._not_prop_curr], need_model=True
+            )
+            if base.satisfiable:
+                _cube, state = self._extract_cube(base.model)
+                return self._result(
+                    start, proven=False, frames_explored=0, cex_chain=[state]
+                )
+
+            frontier = 1
+            self._ensure_frame(1)
+            while frontier <= self.max_frames:
+                while True:
+                    self.stats.bad_queries += 1
+                    bad = self._check(
+                        self._bad,
+                        self._frame_assumptions(frontier),
+                        need_model=True,
+                    )
+                    if not bad.satisfiable:
+                        break
+                    cube, state = self._extract_cube(bad.model)
+                    cube = self._lift_bad(cube)
+                    obligation = _Obligation(cube, frontier, state)
+                    if not self._block_obligation(obligation, frontier):
+                        return self._result(
+                            start,
+                            proven=False,
+                            frames_explored=frontier,
+                            cex_chain=self._cex,
+                        )
+                inductive = self._propagate(frontier)
+                if inductive is not None:
+                    cubes = [
+                        cube
+                        for level in range(inductive + 1, len(self._frames))
+                        for cube in self._frames[level]
+                    ]
+                    return self._result(
+                        start,
+                        proven=True,
+                        frames_explored=frontier,
+                        invariant=[self._clause_symbols(cube) for cube in cubes],
+                        invariant_cubes=cubes,
+                        invariant_frame=inductive,
+                    )
+                frontier += 1
+        except _GiveUp:
+            pass
+        return self._result(start, proven=None, frames_explored=min(frontier, self.max_frames))

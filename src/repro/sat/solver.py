@@ -9,7 +9,11 @@ The implementation follows the classic MiniSat recipe:
 * learned-clause database reduction based on activity.
 
 It also supports solving under assumptions, which the incremental users
-(CEGIS and BMC) rely on.
+(CEGIS, BMC and IC3/PDR) rely on.  An UNSAT answer under assumptions
+carries a *failed-assumption core* (MiniSat's ``analyzeFinal``): the subset
+of assumptions that already forces the conflict.  Assumption-UNSAT leaves
+the solver reusable; only a root-level (assumption-free) contradiction
+latches the instance unsatisfiable for good.
 """
 
 from __future__ import annotations
@@ -74,11 +78,19 @@ class SatResult:
     ``satisfiable`` is ``True``/``False`` for a decided query and ``None``
     if the solver hit its conflict budget.  When satisfiable, ``model`` maps
     every variable index to a boolean.
+
+    For UNSAT answers ``core`` holds the *failed-assumption core*: a subset
+    of the passed assumption literals whose conjunction already makes the
+    formula unsatisfiable.  An empty core means the clause set is
+    unsatisfiable on its own (root UNSAT — the verdict holds under any
+    assumptions); a non-empty core always contains at least the assumption
+    found falsified.  ``core`` is ``None`` on SAT/unknown answers.
     """
 
     satisfiable: Optional[bool]
     model: dict[int, bool] = field(default_factory=dict)
     stats: SolverStats = field(default_factory=SolverStats)
+    core: Optional[list[int]] = None
 
     def __bool__(self) -> bool:
         return bool(self.satisfiable)
@@ -396,6 +408,44 @@ class SatSolver:
             backjump = self._level[abs(learned[1])]
         return learned, backjump
 
+    def _analyze_final(self, failed: int) -> list[int]:
+        """Failed-assumption core for assumption ``failed`` found falsified.
+
+        MiniSat's ``analyzeFinal``: walk the trail backwards from the
+        assignment of ``-failed``, expanding reason clauses; every
+        reason-less assignment reached above level 0 is an assumption
+        decision, and together with ``failed`` those assumptions already
+        force the conflict.  Only called from the assumption re-assert loop,
+        where every open decision level is an assumption level (a backjump
+        that unassigned any assumption also unassigned every ordinary
+        decision made after it), so the reason-less set never contains an
+        ordinary decision.
+        """
+        core = [failed]
+        var0 = abs(failed)
+        if self._level[var0] == 0 or not self._trail_lim:
+            # ``-failed`` is implied by the clause set alone: the conflict
+            # needs no other assumption.
+            return core
+        seen = [False] * (self._num_vars + 1)
+        seen[var0] = True
+        for index in range(len(self._trail) - 1, self._trail_lim[0] - 1, -1):
+            lit = self._trail[index]
+            var = abs(lit)
+            if not seen[var]:
+                continue
+            seen[var] = False
+            reason = self._reason[var]
+            if reason is None:
+                # An assumption decision; the trail literal is the
+                # assumption exactly as the caller passed it.
+                core.append(lit)
+            else:
+                for q in reason.lits:
+                    if abs(q) != var and self._level[abs(q)] > 0:
+                        seen[abs(q)] = True
+        return core
+
     def _backtrack(self, level: int) -> None:
         if len(self._trail_lim) <= level:
             return
@@ -449,30 +499,45 @@ class SatSolver:
     ) -> SatResult:
         """Decide satisfiability under optional assumptions.
 
-        ``conflict_budget`` bounds the number of conflicts; when exhausted the
-        result has ``satisfiable=None``.  ``need_model=False`` skips building
-        the model dict on SAT answers (for verdict-only callers).
+        ``conflict_budget`` bounds the number of conflicts *of this call*
+        (earlier calls on the same instance do not erode it); when exhausted
+        the result has ``satisfiable=None``.  ``need_model=False`` skips
+        building the model dict on SAT answers (for verdict-only callers).
+
+        UNSAT answers carry a failed-assumption ``core`` (see
+        :class:`SatResult`).  A root-level contradiction latches the solver
+        unsatisfiable; an UNSAT caused only by the assumptions does not, so
+        persistent contexts keep reusing the instance.
         """
         assumptions = [int(a) for a in assumptions]
+        for a in assumptions:
+            if a == 0:
+                raise SatError("literal 0 is not allowed as an assumption")
+            self._ensure_var(abs(a))
         if not self._ok:
-            return SatResult(False, stats=self.stats)
+            return SatResult(False, stats=self.stats, core=[])
         self._backtrack(0)
         conflict = self._propagate()
         if conflict is not None:
             self._ok = False
-            return SatResult(False, stats=self.stats)
+            return SatResult(False, stats=self.stats, core=[])
 
         restart_count = 0
         conflicts_until_restart = self._restart_interval * _luby(restart_count + 1)
         conflicts_seen = 0
+        conflicts_spent = 0  # conflicts of this call only (budget accounting)
 
         while True:
             conflict = self._propagate()
             if conflict is not None:
                 self.stats.conflicts += 1
                 conflicts_seen += 1
+                conflicts_spent += 1
                 if len(self._trail_lim) == 0:
-                    return SatResult(False, stats=self.stats)
+                    # A conflict with no open decision level contradicts the
+                    # clause set alone: latch the instance root-UNSAT.
+                    self._ok = False
+                    return SatResult(False, stats=self.stats, core=[])
                 learned, backjump = self._analyze(conflict)
                 self._backtrack(backjump)
                 if len(learned) == 1:
@@ -485,7 +550,7 @@ class SatSolver:
                     self._enqueue(learned[0], clause)
                 self._var_inc /= self._var_decay
                 self._cla_inc /= self._cla_decay
-                if conflict_budget is not None and self.stats.conflicts >= conflict_budget:
+                if conflict_budget is not None and conflicts_spent >= conflict_budget:
                     self._backtrack(0)
                     return SatResult(None, stats=self.stats)
                 if conflicts_seen >= conflicts_until_restart:
@@ -505,8 +570,11 @@ class SatSolver:
             for a in assumptions:
                 val = self._lit_value(a)
                 if val == _FALSE:
+                    # UNSAT under assumptions only: compute the failed core
+                    # and leave the instance healthy for later queries.
+                    core = self._analyze_final(a)
                     self._backtrack(0)
-                    return SatResult(False, stats=self.stats)
+                    return SatResult(False, stats=self.stats, core=core)
                 if val == _UNASSIGNED:
                     next_lit = a
                     break

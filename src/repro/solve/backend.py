@@ -58,6 +58,11 @@ class SatBackend(Protocol):
 
         With ``need_model=False`` a SAT result may carry an empty model
         (lets model-less external solvers serve verdict-only queries).
+
+        UNSAT answers carry a failed-assumption ``core`` — a subset of
+        ``assumptions`` that alone keeps the clause set unsatisfiable; an
+        empty core means the clause set is UNSAT without any assumptions
+        (see :class:`~repro.sat.solver.SatResult`).
         """
         ...
 
@@ -66,7 +71,9 @@ class CdclBackend:
     """Incremental backend over the builtin CDCL solver.
 
     ``conflict_budget`` is interpreted per call: the budget of one query is
-    not eroded by the conflicts of earlier queries on the same context.
+    not eroded by the conflicts of earlier queries on the same context
+    (:meth:`SatSolver.solve` counts conflicts per call).  UNSAT cores come
+    straight from the solver's final-conflict analysis.
     """
 
     name = "cdcl"
@@ -99,9 +106,6 @@ class CdclBackend:
         conflict_budget: Optional[int] = None,
         need_model: bool = True,
     ) -> SatResult:
-        if conflict_budget is not None:
-            # SatSolver compares against its lifetime conflict counter.
-            conflict_budget = self._solver.stats.conflicts + conflict_budget
         return self._solver.solve(
             assumptions=assumptions,
             conflict_budget=conflict_budget,
@@ -121,6 +125,16 @@ class DimacsBackend:
     solvers manage their own effort and do not report counters on stdout,
     so budget arithmetic and per-phase conflict reporting are only
     meaningful on the builtin backend.
+
+    **Unsat cores.**  Competition output has no core line, so the backend
+    cannot minimise: an UNSAT answer under assumptions reports *all* of
+    them as the core (sound — the full assumption set trivially keeps the
+    query UNSAT — just not minimal).  To keep the ``empty core <=> root
+    UNSAT`` contract it distinguishes root UNSAT with one extra
+    assumption-free query; the root verdict is cached per clause count
+    (and latched once UNSAT, since adding clauses never restores
+    satisfiability), so the recheck runs at most once per clause-set
+    revision.
     """
 
     name = "dimacs"
@@ -136,6 +150,9 @@ class DimacsBackend:
         self._clauses: list[tuple[int, ...]] = []
         self._num_vars = 0
         self._stats = SolverStats()
+        self._root_unsat = False
+        # Clause count at which the clause set was last seen root-SAT.
+        self._root_sat_clauses: Optional[int] = None
 
     @property
     def stats(self) -> SolverStats:
@@ -178,6 +195,17 @@ class DimacsBackend:
         assumptions = [int(a) for a in assumptions]
         for lit in assumptions:
             self._num_vars = max(self._num_vars, abs(lit))
+        result = self._run_query(assumptions, need_model)
+        if result.satisfiable is False:
+            result.core = self._failed_core(assumptions)
+        elif result.satisfiable:
+            # SAT — with or without assumptions — proves the clause set
+            # alone is satisfiable at this revision, sparing the core
+            # path's root-distinction query.
+            self._root_sat_clauses = len(self._clauses)
+        return result
+
+    def _run_query(self, assumptions: Sequence[int], need_model: bool) -> SatResult:
         fd, path = tempfile.mkstemp(prefix="repro_query_", suffix=".cnf")
         os.close(fd)
         try:
@@ -190,6 +218,19 @@ class DimacsBackend:
             return self._parse_output(proc, need_model)
         finally:
             os.unlink(path)
+
+    def _failed_core(self, assumptions: Sequence[int]) -> list[int]:
+        """Core of an UNSAT answer: ``[]`` for root UNSAT, else all assumptions."""
+        if not assumptions:
+            self._root_unsat = True
+            return []
+        if not self._root_unsat and self._root_sat_clauses != len(self._clauses):
+            root = self._run_query((), need_model=False)
+            if root.satisfiable is False:
+                self._root_unsat = True
+            else:
+                self._root_sat_clauses = len(self._clauses)
+        return [] if self._root_unsat else list(assumptions)
 
     def _parse_output(
         self, proc: subprocess.CompletedProcess, need_model: bool

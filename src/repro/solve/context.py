@@ -62,6 +62,13 @@ class BVResult:
     #: Kept separate from ``model`` being empty: a formula without free
     #: variables legitimately has an empty model.
     has_model: bool = True
+    #: Failed-assumption core of an UNSAT answer, lifted back to the
+    #: term-level assumptions the caller passed: a subset of ``assumptions``
+    #: that — together with the asserted formulas and the open scopes —
+    #: already makes the query unsatisfiable.  ``[]`` means the query is
+    #: UNSAT without any of the passed assumptions; ``None`` on SAT/unknown
+    #: answers (or when the backend cannot report cores).
+    core: Optional[list["BV"]] = None
 
     def __bool__(self) -> bool:
         return bool(self.satisfiable)
@@ -334,14 +341,14 @@ class SolverContext:
 
     def _blast_assumptions(
         self, assumptions: Iterable["BV"]
-    ) -> tuple[list[int], list["BV"], bool]:
+    ) -> tuple[list[int], list["BV"], Optional["BV"]]:
         """Blast query-scoped assumptions to CNF literals.
 
         Returns ``(literals, non-const terms, const_false)`` where
-        ``const_false`` means some assumption folded to constant false and
-        the query is trivially UNSAT.  Constant-true assumptions are
-        dropped.  Shared by :meth:`check` and :meth:`encode` so the two
-        paths cannot drift.
+        ``const_false`` is an assumption term that folded to constant false
+        (the query is then trivially UNSAT with that term as its own core),
+        or ``None``.  Constant-true assumptions are dropped.  Shared by
+        :meth:`check` and :meth:`encode` so the two paths cannot drift.
         """
         lits: list[int] = []
         terms: list["BV"] = []
@@ -350,13 +357,13 @@ class SolverContext:
                 raise SmtError(f"assumptions must have width 1, got {term.width}")
             if term.is_const:
                 if term.const_value() == 0:
-                    return lits, terms, True
+                    return lits, terms, term
                 continue
             blast_start = time.perf_counter()
             lits.append(self._blaster.assumption_literal(term))
             self._blast_seconds += time.perf_counter() - blast_start
             terms.append(term)
-        return lits, terms, False
+        return lits, terms, None
 
     # ----------------------------------------------------------------- encode
 
@@ -371,7 +378,7 @@ class SolverContext:
         become observable without paying for solving the formula.
         """
         assumption_lits, _terms, const_false = self._blast_assumptions(assumptions)
-        if const_false:
+        if const_false is not None:
             # check() answers such a query without syncing; mirror that.
             return
         self._sync()
@@ -397,13 +404,18 @@ class SolverContext:
         and the assumptions.  Callers that only consume the verdict (e.g.
         the k-induction step query) pass ``need_model=False`` to skip model
         extraction entirely.
+
+        UNSAT answers carry ``core``: the failed-assumption core lifted
+        back to the passed assumption terms (see :class:`BVResult`).  The
+        core is *relative to the open scopes* — scope activation literals
+        are assumed internally and never appear in the term core.
         """
         if self._root_failed:
-            return BVResult(False)
+            return BVResult(False, core=[])
         assumption_lits = [scope.activation for scope in self._scopes]
         lits, assumption_terms, const_false = self._blast_assumptions(assumptions)
-        if const_false:
-            return BVResult(False)
+        if const_false is not None:
+            return BVResult(False, core=[const_false])
         assumption_lits.extend(lits)
         self._sync()
         if self._pre is not None:
@@ -417,6 +429,7 @@ class SolverContext:
                     False,
                     num_clauses=self.num_clauses,
                     num_vars=self.num_vars,
+                    core=[],
                 )
         before = self._backend.stats.copy()
         result = self._backend.solve(
@@ -438,6 +451,7 @@ class SolverContext:
                 num_clauses=self.num_clauses,
                 num_vars=self.num_vars,
                 stats=spent,
+                core=self._lift_core(result.core, lits, assumption_terms),
             )
         model: dict[str, int] = {}
         if need_model:
@@ -455,6 +469,30 @@ class SolverContext:
             stats=spent,
             has_model=need_model,
         )
+
+    @staticmethod
+    def _lift_core(
+        backend_core: Optional[list[int]],
+        assumption_lits: list[int],
+        assumption_terms: list["BV"],
+    ) -> Optional[list["BV"]]:
+        """Map a backend literal core to the assumption terms it names.
+
+        ``assumption_lits``/``assumption_terms`` are the aligned blast
+        results of the caller's non-constant assumptions.  Scope activation
+        literals in the backend core are internal and dropped; distinct
+        terms sharing one blasted literal are all kept (the lifted set stays
+        a subset of the assumptions and still implies UNSAT).  ``None``
+        (backend without core support) is passed through.
+        """
+        if backend_core is None:
+            return None
+        failed = set(backend_core)
+        return [
+            term
+            for lit, term in zip(assumption_lits, assumption_terms)
+            if lit in failed
+        ]
 
     def _extract_model(
         self, backend_model, assumption_terms: list["BV"], full_model: bool

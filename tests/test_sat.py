@@ -128,6 +128,130 @@ class TestSolverBasics:
         solver.add_clause([3, -3])  # tautology, silently dropped
         assert solver.solve().satisfiable is True
 
+    def test_conflict_budget_is_per_call(self):
+        # Regression: the budget used to be compared against the lifetime
+        # conflict counter, so on a reused instance a later budgeted call
+        # started with its budget already (partially) spent.
+        solver = SatSolver(CNF(_pigeonhole_clauses(5, 4)))
+        first = solver.solve(conflict_budget=5)
+        assert first.satisfiable is None
+        assert solver.stats.conflicts == 5
+        second = solver.solve(conflict_budget=5)
+        assert second.satisfiable is None
+        # Both calls did real work: the budget was not pre-exhausted.
+        assert solver.stats.conflicts == 10
+        # And without a budget the instance still decides the query.
+        assert solver.solve().satisfiable is False
+
+
+def _pigeonhole_clauses(pigeons: int, holes: int) -> list[list[int]]:
+    def var(p, h):
+        return 1 + p * holes + h
+
+    clauses = [[var(p, h) for h in range(holes)] for p in range(pigeons)]
+    for h in range(holes):
+        for i in range(pigeons):
+            for j in range(i + 1, pigeons):
+                clauses.append([-var(i, h), -var(j, h)])
+    return clauses
+
+
+class TestFailedAssumptionCores:
+    def test_core_is_subset_and_still_unsat(self):
+        solver = SatSolver()
+        solver.add_clause([-1, 3])
+        solver.add_clause([-2, 4])
+        result = solver.solve(assumptions=[1, 2, -3])
+        assert result.satisfiable is False
+        assert result.core is not None and result.core
+        assert set(result.core) <= {1, 2, -3}
+        # The irrelevant assumption never belongs to the core.
+        assert 2 not in result.core
+        # Re-solving under only the core stays UNSAT.
+        assert solver.solve(assumptions=result.core).satisfiable is False
+
+    def test_core_on_nontrivial_search(self):
+        # UNSAT only through real conflict-driven search (pigeonhole under
+        # the assumption that two pigeons share a hole is still UNSAT after
+        # removing the assumptions' pigeons? no — the base instance is SAT).
+        solver = SatSolver(CNF(_pigeonhole_clauses(3, 3)))
+        assert solver.solve().satisfiable is True
+        result = solver.solve(assumptions=[2, 5])  # pigeon 0 and 1 in hole 1
+        assert result.satisfiable is False
+        assert result.core and set(result.core) <= {2, 5}
+        assert solver.solve(assumptions=result.core).satisfiable is False
+        # The instance stays healthy for later queries.
+        assert solver.solve().satisfiable is True
+
+    def test_empty_core_iff_root_unsat(self):
+        solver = SatSolver()
+        solver.add_clause([1])
+        solver.add_clause([-1])
+        result = solver.solve(assumptions=[2])
+        assert result.satisfiable is False
+        assert result.core == []
+
+    def test_contradictory_assumptions(self):
+        solver = SatSolver()
+        solver.add_clause([1, 2])
+        result = solver.solve(assumptions=[3, -3])
+        assert result.satisfiable is False
+        assert set(result.core) == {3, -3}
+
+    def test_assumption_unsat_does_not_poison(self):
+        solver = SatSolver()
+        solver.add_clause([1, 2])
+        solver.add_clause([-3, -1])
+        assert solver.solve(assumptions=[3, 1]).satisfiable is False
+        # The same instance keeps answering (this used to require nothing —
+        # but a root-level conflict must still latch, see below).
+        assert solver.solve(assumptions=[3]).satisfiable is True
+        assert solver.solve().satisfiable is True
+
+    def test_in_search_root_conflict_latches_unsat(self):
+        # UNSAT discovered *during* search (not by pre-search propagation)
+        # must poison the instance: every later call answers False with an
+        # empty core without re-searching.
+        solver = SatSolver(CNF(_pigeonhole_clauses(4, 3)))
+        result = solver.solve()
+        assert result.satisfiable is False
+        assert result.core == []
+        assert solver.stats.conflicts > 0
+        conflicts_before = solver.stats.conflicts
+        again = solver.solve(assumptions=[1])
+        assert again.satisfiable is False
+        assert again.core == []
+        assert solver.stats.conflicts == conflicts_before  # no re-search
+
+    def test_assumptions_reserve_variables(self):
+        # Assuming a literal over a never-seen variable must not crash.
+        solver = SatSolver()
+        solver.add_clause([1, 2])
+        result = solver.solve(assumptions=[7])
+        assert result.satisfiable is True
+        assert result.value(7) is True
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_cores_shrink_and_hold(self, seed):
+        rng = random.Random(seed)
+        num_vars = rng.randint(4, 9)
+        clauses = _random_cnf(rng, num_vars, rng.randint(5, 30))
+        solver = SatSolver(CNF(clauses, num_vars=num_vars))
+        assumptions = []
+        for v in range(1, num_vars + 1):
+            if rng.random() < 0.6:
+                assumptions.append(v if rng.random() < 0.5 else -v)
+        result = solver.solve(assumptions=assumptions)
+        if result.satisfiable is not False:
+            return
+        assert result.core is not None
+        assert set(result.core) <= set(assumptions)
+        # The core alone must keep the instance UNSAT...
+        assert solver.solve(assumptions=result.core).satisfiable is False
+        # ...and an empty core must mean root UNSAT.
+        if not result.core:
+            assert solver.solve().satisfiable is False
+
 
 def _random_cnf(rng: random.Random, num_vars: int, num_clauses: int) -> list[list[int]]:
     clauses = []

@@ -126,6 +126,103 @@ class TestModelAvailability:
         assert result.value_of(T.bv_const(4, W)) == 4
 
 
+class TestTermLevelCores:
+    """Failed-assumption cores lifted back to the assumption terms."""
+
+    def test_core_subset_and_recheck(self):
+        x, y = _vars("core1")
+        ctx = SolverContext()
+        ctx.add(T.bv_ult(x, T.bv_const(8, W)))
+        a1 = T.bv_eq(x, T.bv_const(9, W))  # contradicts the assertion
+        a2 = T.bv_eq(y, T.bv_const(3, W))  # irrelevant
+        result = ctx.check(assumptions=[a1, a2])
+        assert result.satisfiable is False
+        assert result.core is not None and result.core
+        assert {term.tid for term in result.core} <= {a1.tid, a2.tid}
+        assert all(term.tid != a2.tid for term in result.core)
+        # Re-checking under only the core stays UNSAT, and the context is
+        # still usable afterwards.
+        assert ctx.check(assumptions=result.core).satisfiable is False
+        assert ctx.check(assumptions=[a2]).satisfiable is True
+
+    def test_joint_assumption_core(self):
+        x, y = _vars("core2")
+        ctx = SolverContext()
+        ctx.add(T.bv_eq(T.bv_add(x, y), T.bv_const(4, W)))
+        a1 = T.bv_eq(x, T.bv_const(10, W))
+        a2 = T.bv_eq(y, T.bv_const(10, W))
+        result = ctx.check(assumptions=[a1, a2])
+        assert result.satisfiable is False
+        assert result.core
+        assert ctx.check(assumptions=result.core).satisfiable is False
+
+    def test_empty_core_means_root_unsat(self):
+        x, _ = _vars("core3")
+        ctx = SolverContext()
+        ctx.add(T.bv_eq(x, T.bv_const(1, W)))
+        ctx.add(T.bv_eq(x, T.bv_const(2, W)))
+        result = ctx.check(assumptions=[T.bv_ult(x, T.bv_const(4, W))])
+        assert result.satisfiable is False
+        assert result.core == []
+
+    def test_const_false_assumption_is_its_own_core(self):
+        ctx = SolverContext()
+        result = ctx.check(assumptions=[T.bv_false()])
+        assert result.satisfiable is False
+        assert result.core is not None and len(result.core) == 1
+        assert result.core[0].tid == T.bv_false().tid
+
+    def test_core_excludes_scope_activations(self):
+        # Scoped assertions participate in the conflict but never leak into
+        # the term-level core — it stays a subset of the assumptions.
+        x, _ = _vars("core4")
+        ctx = SolverContext()
+        ctx.push()
+        ctx.add(T.bv_eq(x, T.bv_const(5, W)))
+        bad = T.bv_eq(x, T.bv_const(6, W))
+        result = ctx.check(assumptions=[bad])
+        assert result.satisfiable is False
+        assert result.core is not None
+        assert {term.tid for term in result.core} <= {bad.tid}
+        ctx.pop()
+        assert ctx.check(assumptions=[bad]).satisfiable is True
+
+    def test_sat_has_no_core(self):
+        x, _ = _vars("core5")
+        ctx = SolverContext()
+        result = ctx.check(assumptions=[T.bv_eq(x, T.bv_const(2, W))])
+        assert result.satisfiable is True
+        assert result.core is None
+
+
+class TestPerCallBudget:
+    def test_two_budgeted_checks_on_one_context(self):
+        """Regression: a reused backend must not erode later call budgets.
+
+        Two identical hard queries with the same budget on one context must
+        both come back undecided after doing the same amount of fresh work —
+        before the fix the second call saw the budget already exhausted by
+        the first call's conflicts and returned immediately.
+        """
+        xs = [T.bv_var(f"budget_x{i}", 8) for i in range(6)]
+        ctx = SolverContext()
+        # A SAT-hard-ish query: pairwise-distinct mid-width variables whose
+        # sum is constrained — enough search to burn a small budget.
+        ctx.add(T.bv_distinct(xs))
+        total = xs[0]
+        for x in xs[1:]:
+            total = T.bv_add(total, x)
+        hard = T.bv_eq(T.bv_mul(total, total), T.bv_const(77, 8))
+        first = ctx.check(assumptions=[hard], conflict_budget=3)
+        assert first.satisfiable is None
+        assert first.stats.conflicts >= 3
+        second = ctx.check(assumptions=[hard], conflict_budget=3)
+        assert second.satisfiable is None
+        # The second call did its own three conflicts of work rather than
+        # bouncing off an already-spent budget.
+        assert second.stats.conflicts >= 3
+
+
 class TestScopes:
     def test_push_pop_restores_satisfiability(self):
         x, _ = _vars("sc1")
@@ -407,6 +504,27 @@ class TestBackends:
             builtin = SolverContext()
             builtin.add_all(terms)
             assert external.check().satisfiable == builtin.check().satisfiable
+
+    def test_dimacs_backend_cores(self, stub_solver):
+        # External solvers cannot minimise, but the core contract still
+        # holds: a subset of the assumptions (here: all of them), still
+        # UNSAT when re-checked, and empty exactly on root UNSAT.
+        ctx = SolverContext(backend=f"dimacs:{stub_solver}")
+        x, _ = _vars("dimcore")
+        ctx.add(T.bv_ult(x, T.bv_const(8, W)))
+        a1 = T.bv_eq(x, T.bv_const(9, W))
+        a2 = T.bv_eq(x, T.bv_const(3, W))
+        result = ctx.check(assumptions=[a1, a2])
+        assert result.satisfiable is False
+        assert result.core is not None and result.core
+        assert {t.tid for t in result.core} <= {a1.tid, a2.tid}
+        assert ctx.check(assumptions=result.core).satisfiable is False
+        # Root UNSAT: the clause set alone is contradictory -> empty core.
+        ctx.add(T.bv_eq(x, T.bv_const(1, W)))
+        ctx.add(T.bv_eq(x, T.bv_const(2, W)))
+        rooted = ctx.check(assumptions=[a2])
+        assert rooted.satisfiable is False
+        assert rooted.core == []
 
 
 class TestFacade:

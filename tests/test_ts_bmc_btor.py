@@ -126,6 +126,24 @@ class TestKInduction:
         result = KInductionEngine(ts).prove("bounded", max_k=4)
         assert result.proven is False
 
+    def test_max_k_exhaustion_keeps_base_result(self):
+        # A property that holds but is not 1-inductive (x copies y with one
+        # cycle of delay, so induction needs to look two steps back): the
+        # inconclusive result must still report how far the base case got
+        # (this used to be dropped on the exhausted-return path).
+        ts = TransitionSystem(name="kind_exhaust")
+        x = ts.add_state("kind_ex_x", 1, init=0)
+        y = ts.add_state("kind_ex_y", 1, init=0)
+        ts.set_next(x, y)
+        ts.set_next(y, y)
+        ts.add_property("x_never_set", T.bv_eq(x, T.bv_false()))
+        result = KInductionEngine(ts).prove("x_never_set", max_k=1)
+        assert result.proven is None
+        assert result.base_result is not None
+        assert result.base_result.holds is True
+        # With one more step of lookback the same engine closes the proof.
+        assert KInductionEngine(ts).prove("x_never_set", max_k=2).proven is True
+
 
 class TestBtor2:
     def test_roundtrip_counter(self):
