@@ -6,9 +6,14 @@ the bug-free baseline designs must be *proven* (with the emitted inductive
 invariant independently re-checked — initiation, consecution, safety —
 through the ``opt_level=0`` naive reference encoding), the buggy variants
 must be *refuted*, and both verdicts are cross-checked against BMC and
-k-induction wherever those engines conclude.  On top of the suite, one
-frame-bounded PDR run on the golden (bug-free) QED processor model asserts
-the engine never fabricates a counterexample on the real paper workload.
+k-induction wherever those engines conclude.  On top of the suite the
+golden (bug-free) QED processor model gets its own row: a frame-bounded
+sanity run on the full ADD+SUB model in smoke mode (PDR must never
+fabricate a counterexample), and in the full suite the graduation row —
+an *unbounded* full-convergence proof on the arena SAT kernel (largest
+golden configuration that fits a CI budget: single-op ISA, depth-1 QED
+fifo, converges at frame 8) whose emitted invariant must pass the
+independent ``opt_level=0`` re-check.
 
 The exit status gates on **correctness only** — verdict agreement and
 invariant validity.  Wall-clock numbers are reported in the JSON for
@@ -125,23 +130,59 @@ def bench_design(
     return entry
 
 
-def bench_golden_processor(failures: list[str]) -> dict:
-    """Frame-bounded PDR on the golden QED model: must never refute."""
+def bench_golden_processor(failures: list[str], smoke: bool) -> dict:
+    """PDR on the golden QED model.
+
+    Smoke mode keeps the historical frame-bounded sanity row on the full
+    ADD+SUB model (the golden design has no bug, so PDR must never refute
+    it).  The full suite runs the graduation row instead: *unbounded* PDR
+    on the largest golden configuration whose proof fits a CI budget (the
+    single-op, depth-1-fifo QED model — it converges at frame 8) must
+    prove the consistency property, and the emitted invariant must pass
+    the independent ``opt_level=0`` re-check.  Both gate on verdicts only,
+    never wall-clock.
+    """
     isa = IsaConfig.small(xlen=4, num_regs=4)
-    config = ProcessorConfig(isa=isa, supported_ops=("ADD", "SUB"))
-    flow = SqedFlow(config)
+    if smoke:
+        name = "qed-golden-4bit"
+        config = ProcessorConfig(isa=isa, supported_ops=("ADD", "SUB"))
+        flow = SqedFlow(config)
+        max_frames = 3
+    else:
+        name = "qed-golden-4bit-add-fifo1"
+        config = ProcessorConfig(isa=isa, supported_ops=("ADD",))
+        flow = SqedFlow(config, fifo_depth=1)
+        max_frames = 12
     start = time.perf_counter()
-    outcome = flow.prove(None, engine="pdr", max_frames=2)
+    outcome = flow.prove(None, engine="pdr", max_frames=max_frames)
     entry = {
-        "design": "qed-golden-4bit",
+        "design": name,
         "property": "qed_consistency",
+        "mode": "frame-bounded" if smoke else "full-convergence",
+        "max_frames": max_frames,
         "proven": outcome.proven,
         "frames": outcome.depth,
         "seconds": round(time.perf_counter() - start, 4),
         "consecution_queries": outcome.pdr_result.stats.consecution_queries,
     }
-    if outcome.proven is False:
-        failures.append("qed-golden-4bit: PDR fabricated a counterexample")
+    if smoke:
+        if outcome.proven is False:
+            failures.append(f"{name}: PDR fabricated a counterexample")
+        return entry
+    if outcome.proven is not True:
+        failures.append(f"{name}: full-convergence run returned {outcome.proven}")
+        return entry
+    invariant = outcome.pdr_result.invariant
+    entry["invariant_clauses"] = None if invariant is None else len(invariant)
+    model = outcome.model  # the exact system PDR ran on (fresh builds rename)
+    check = check_invariant(model.ts, model.property_name, invariant, opt_level=0)
+    entry["invariant_recheck"] = {
+        "initiation": check.initiation,
+        "consecution": check.consecution,
+        "safety": check.safety,
+    }
+    if not check.valid:
+        failures.append(f"{name}: invariant failed the opt0 re-check")
     return entry
 
 
@@ -174,7 +215,7 @@ def main(argv=None) -> int:
         "engine": args.engine,
         "smoke": args.smoke,
         "designs": designs,
-        "golden_processor": bench_golden_processor(failures)
+        "golden_processor": bench_golden_processor(failures, args.smoke)
         if args.engine == "pdr"
         else None,
         "failures": failures,

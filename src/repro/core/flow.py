@@ -159,6 +159,11 @@ class _BaseFlow:
         ``"kinduction"``.  ``max_frames`` bounds PDR's frame exploration,
         ``max_k`` bounds the induction depth, and ``conflict_budget`` caps
         each SAT query; exhausting any of them yields ``proven=None``.
+
+        The returned outcome carries the verification ``model`` the engine
+        ran on: re-check a PDR invariant against ``outcome.model.ts`` (a
+        fresh ``build_model`` call mints new symbol names, so the check
+        must use this exact system).
         """
         if engine not in self.PROVE_ENGINES:
             raise VerificationError(
@@ -182,6 +187,7 @@ class _BaseFlow:
                 runtime_seconds=time.perf_counter() - start,
                 depth=pdr.frames_explored,
                 pdr_result=pdr,
+                model=model,
             )
         kind = KInductionEngine(
             model.ts, backend=self.backend, opt_level=self.opt_level
@@ -194,6 +200,7 @@ class _BaseFlow:
             runtime_seconds=time.perf_counter() - start,
             depth=kind.k,
             kinduction_result=kind,
+            model=model,
         )
 
     def run_many(

@@ -11,6 +11,7 @@ from repro.bmc.trace import Trace
 from repro.pdr.engine import PdrResult
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.qed.module import QedVerificationModel
     from repro.smt.terms import BV
 
 
@@ -63,6 +64,13 @@ class ProofOutcome:
     the engine gave up (depth/frame limit or conflict budget).  ``depth``
     is the induction depth ``k`` (k-induction) or the number of frames
     explored (PDR).
+
+    ``model`` is the verification model the engine actually ran on.  It
+    matters for invariant certification: every ``build_model`` call mints a
+    fresh module prefix for its state symbols, so a PDR invariant can only
+    be re-checked (``check_invariant``) against *this* transition system —
+    rebuilding the model produces differently named symbols and the check
+    would vacuously fail.
     """
 
     method: str
@@ -73,6 +81,7 @@ class ProofOutcome:
     depth: int
     kinduction_result: Optional[KInductionResult] = None
     pdr_result: Optional[PdrResult] = None
+    model: "Optional[QedVerificationModel]" = None
 
     @property
     def invariant(self) -> "Optional[list[BV]]":

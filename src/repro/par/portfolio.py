@@ -22,15 +22,23 @@ from dataclasses import dataclass, field
 from typing import Iterable, Optional, Sequence
 
 from repro.par.pool import ParError, resolve_jobs
-from repro.solve.backend import CdclBackend, create_backend, is_default_backend
+from repro.solve.backend import (
+    TUNABLE_BACKEND_SPECS,
+    CdclBackend,
+    create_backend,
+    is_builtin_backend,
+)
 
 
 @dataclass(frozen=True)
 class PortfolioConfig:
     """One racing entry: a backend spec plus CDCL tuning knobs.
 
-    The tuning knobs only apply to the builtin ``cdcl`` backend; for any
-    other spec (e.g. ``dimacs:kissat``) the spec string is used as-is.
+    The tuning knobs apply to any builtin CDCL spec — ``cdcl`` / ``builtin``
+    (process-default kernel) as well as the kernel-pinned ``arena`` and
+    ``reference`` specs, so a portfolio can race the two kernels against
+    each other.  For any other spec (e.g. ``dimacs:kissat``) the spec
+    string is used as-is and the knobs are ignored.
     """
 
     name: str
@@ -40,21 +48,26 @@ class PortfolioConfig:
     restart_interval: int = 100
 
     def build_backend(self):
-        if is_default_backend(self.backend):
+        if is_builtin_backend(self.backend):
             return CdclBackend(
                 var_decay=self.var_decay,
                 default_phase=self.default_phase,
                 restart_interval=self.restart_interval,
+                kernel=TUNABLE_BACKEND_SPECS[self.backend],
             )
         return create_backend(self.backend)
 
 
 #: Complementary default configurations (phase polarity, decay, restarts).
+#: The reference-kernel entry doubles as a live differential check: it
+#: races the same query on the per-object solver, and soundness means it
+#: can only ever agree with an arena winner.
 DEFAULT_PORTFOLIO: tuple[PortfolioConfig, ...] = (
     PortfolioConfig("cdcl-baseline"),
     PortfolioConfig("cdcl-positive-phase", default_phase=True),
     PortfolioConfig("cdcl-slow-decay", var_decay=0.99),
     PortfolioConfig("cdcl-rapid-restarts", restart_interval=30),
+    PortfolioConfig("cdcl-reference-kernel", backend="reference"),
 )
 
 

@@ -77,7 +77,9 @@ class SatResult:
 
     ``satisfiable`` is ``True``/``False`` for a decided query and ``None``
     if the solver hit its conflict budget.  When satisfiable, ``model`` maps
-    every variable index to a boolean.
+    every variable index to a boolean.  ``stats`` is a *detached snapshot*
+    of the solver's cumulative counters at the time the result was built:
+    later calls on the same solver instance do not mutate a stored result.
 
     For UNSAT answers ``core`` holds the *failed-assumption core*: a subset
     of the passed assumption literals whose conjunction already makes the
@@ -168,6 +170,7 @@ class SatSolver:
         self._trail_lim: list[int] = []
         self._qhead = 0
         self._ok = True
+        self._learned_limit = 2000
         self.stats = SolverStats()
         if cnf is not None:
             self.add_cnf(cnf)
@@ -195,6 +198,16 @@ class SatSolver:
     def reserve(self, num_vars: int) -> None:
         """Make sure variables ``1..num_vars`` exist even if unconstrained."""
         self._ensure_var(num_vars)
+
+    @property
+    def num_clauses(self) -> int:
+        """Problem clauses currently attached (units propagate, so excluded)."""
+        return len(self._clauses)
+
+    @property
+    def num_learned(self) -> int:
+        """Learned clauses currently in the database (post reduction)."""
+        return len(self._learned)
 
     def add_cnf(self, cnf: CNF) -> None:
         """Add all clauses of ``cnf`` (and reserve its variable range)."""
@@ -474,9 +487,16 @@ class SatSolver:
         return 0
 
     def _reduce_db(self) -> None:
-        """Remove the least active half of the learned clauses."""
-        if len(self._learned) < 2000:
+        """Remove the least active half of the learned clauses.
+
+        The trigger threshold starts at 2000 clauses and grows geometrically
+        on every reduction, so long incremental runs (PDR's thousands of
+        consecution queries on one instance) keep more of what they learn
+        instead of thrashing a fixed-size cache.
+        """
+        if len(self._learned) < self._learned_limit:
             return
+        self._learned_limit += self._learned_limit >> 1
         self._learned.sort(key=lambda c: c.activity)
         keep = self._learned[len(self._learned) // 2 :]
         drop = set(id(c) for c in self._learned[: len(self._learned) // 2])
@@ -515,12 +535,12 @@ class SatSolver:
                 raise SatError("literal 0 is not allowed as an assumption")
             self._ensure_var(abs(a))
         if not self._ok:
-            return SatResult(False, stats=self.stats, core=[])
+            return SatResult(False, stats=self.stats.copy(), core=[])
         self._backtrack(0)
         conflict = self._propagate()
         if conflict is not None:
             self._ok = False
-            return SatResult(False, stats=self.stats, core=[])
+            return SatResult(False, stats=self.stats.copy(), core=[])
 
         restart_count = 0
         conflicts_until_restart = self._restart_interval * _luby(restart_count + 1)
@@ -537,7 +557,7 @@ class SatSolver:
                     # A conflict with no open decision level contradicts the
                     # clause set alone: latch the instance root-UNSAT.
                     self._ok = False
-                    return SatResult(False, stats=self.stats, core=[])
+                    return SatResult(False, stats=self.stats.copy(), core=[])
                 learned, backjump = self._analyze(conflict)
                 self._backtrack(backjump)
                 if len(learned) == 1:
@@ -552,7 +572,7 @@ class SatSolver:
                 self._cla_inc /= self._cla_decay
                 if conflict_budget is not None and conflicts_spent >= conflict_budget:
                     self._backtrack(0)
-                    return SatResult(None, stats=self.stats)
+                    return SatResult(None, stats=self.stats.copy())
                 if conflicts_seen >= conflicts_until_restart:
                     # restart, keeping assumptions on re-descent
                     restart_count += 1
@@ -574,7 +594,7 @@ class SatSolver:
                     # and leave the instance healthy for later queries.
                     core = self._analyze_final(a)
                     self._backtrack(0)
-                    return SatResult(False, stats=self.stats, core=core)
+                    return SatResult(False, stats=self.stats.copy(), core=core)
                 if val == _UNASSIGNED:
                     next_lit = a
                     break
@@ -587,7 +607,7 @@ class SatSolver:
                             v: self._assign[v] == _TRUE
                             for v in range(1, self._num_vars + 1)
                         }
-                    result = SatResult(True, model=model, stats=self.stats)
+                    result = SatResult(True, model=model, stats=self.stats.copy())
                     self._backtrack(0)
                     return result
                 self.stats.decisions += 1

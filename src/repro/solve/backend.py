@@ -26,7 +26,38 @@ import tempfile
 from typing import Iterable, Optional, Protocol, Sequence, runtime_checkable
 
 from repro.errors import SolveError
+from repro.sat.arena import ArenaSolver
 from repro.sat.solver import SatResult, SatSolver, SolverStats
+
+#: Environment variable selecting the builtin CDCL kernel implementation.
+ENV_SAT_BACKEND = "REPRO_SAT_BACKEND"
+#: Known kernels: the flat clause-arena hot path and the per-object
+#: reference implementation kept for differential testing.
+SAT_KERNELS = ("arena", "reference")
+DEFAULT_SAT_KERNEL = "arena"
+
+_KERNEL_CLASSES = {"arena": ArenaSolver, "reference": SatSolver}
+
+
+def default_sat_kernel() -> str:
+    """The process default kernel: ``$REPRO_SAT_BACKEND`` when set, else arena."""
+    raw = os.environ.get(ENV_SAT_BACKEND)
+    if raw is None or raw == "":
+        return DEFAULT_SAT_KERNEL
+    if raw not in SAT_KERNELS:
+        raise SolveError(
+            f"{ENV_SAT_BACKEND} must be one of {SAT_KERNELS}, got {raw!r}"
+        )
+    return raw
+
+
+def resolve_sat_kernel(kernel: Optional[str]) -> str:
+    """Normalise a kernel argument (``None`` = process default)."""
+    if kernel is None:
+        return default_sat_kernel()
+    if kernel not in SAT_KERNELS:
+        raise SolveError(f"SAT kernel must be one of {SAT_KERNELS}, got {kernel!r}")
+    return kernel
 
 
 @runtime_checkable
@@ -70,10 +101,18 @@ class SatBackend(Protocol):
 class CdclBackend:
     """Incremental backend over the builtin CDCL solver.
 
+    ``kernel`` picks the implementation: ``"arena"`` (the flat clause-arena
+    hot path, the default) or ``"reference"`` (the per-object
+    :class:`SatSolver`, kept as the differential baseline the same way the
+    ``opt_level=0`` encoder anchors the compilation pipeline).  ``None``
+    resolves through the ``REPRO_SAT_BACKEND`` environment variable, so a
+    whole test run can be pinned to either kernel without touching call
+    sites.  Both kernels implement the identical contract.
+
     ``conflict_budget`` is interpreted per call: the budget of one query is
     not eroded by the conflicts of earlier queries on the same context
-    (:meth:`SatSolver.solve` counts conflicts per call).  UNSAT cores come
-    straight from the solver's final-conflict analysis.
+    (both kernels count conflicts per call).  UNSAT cores come straight
+    from the solver's final-conflict analysis.
     """
 
     name = "cdcl"
@@ -83,8 +122,10 @@ class CdclBackend:
         var_decay: float = 0.95,
         default_phase: bool = False,
         restart_interval: int = 100,
+        kernel: Optional[str] = None,
     ) -> None:
-        self._solver = SatSolver(
+        self.kernel = resolve_sat_kernel(kernel)
+        self._solver = _KERNEL_CLASSES[self.kernel](
             var_decay=var_decay,
             default_phase=default_phase,
             restart_interval=restart_interval,
@@ -282,10 +323,24 @@ class DimacsBackend:
 #: Specs naming the builtin CDCL backend (the default everywhere).
 DEFAULT_BACKEND_SPECS = ("cdcl", "builtin")
 
+#: Builtin specs that accept solver tuning knobs, mapped to the kernel they
+#: pin (``None`` = follow the process default / ``REPRO_SAT_BACKEND``).
+TUNABLE_BACKEND_SPECS: dict = {
+    "cdcl": None,
+    "builtin": None,
+    "arena": "arena",
+    "reference": "reference",
+}
+
 
 def is_default_backend(spec: "str | SatBackend") -> bool:
     """True when ``spec`` names the default builtin backend."""
     return isinstance(spec, str) and spec in DEFAULT_BACKEND_SPECS
+
+
+def is_builtin_backend(spec: "str | SatBackend") -> bool:
+    """True when ``spec`` names any builtin CDCL backend (either kernel)."""
+    return isinstance(spec, str) and spec in TUNABLE_BACKEND_SPECS
 
 
 def dimacs_solver_available(executable: str) -> bool:
@@ -296,15 +351,18 @@ def dimacs_solver_available(executable: str) -> bool:
 def create_backend(spec: "str | SatBackend") -> SatBackend:
     """Resolve a backend from a spec.
 
-    Accepted specs: an already-constructed backend object, ``"cdcl"`` (the
-    builtin solver), or ``"dimacs:<executable>"`` for the subprocess backend.
+    Accepted specs: an already-constructed backend object, ``"cdcl"`` /
+    ``"builtin"`` (the builtin solver with the process-default kernel),
+    ``"arena"`` / ``"reference"`` (the builtin solver pinned to one kernel,
+    overriding ``REPRO_SAT_BACKEND``), or ``"dimacs:<executable>"`` for the
+    subprocess backend.
     """
     if not isinstance(spec, str):
         if isinstance(spec, SatBackend):
             return spec
         raise SolveError(f"object {spec!r} does not implement the SatBackend protocol")
-    if spec in DEFAULT_BACKEND_SPECS:
-        return CdclBackend()
+    if spec in TUNABLE_BACKEND_SPECS:
+        return CdclBackend(kernel=TUNABLE_BACKEND_SPECS[spec])
     if spec.startswith("dimacs:"):
         executable = spec.split(":", 1)[1]
         if not executable:

@@ -1,4 +1,11 @@
-"""Tests for the CNF container and the CDCL SAT solver."""
+"""Tests for the CNF container and both CDCL SAT solver kernels.
+
+Every solver-contract test runs against the per-object reference
+:class:`SatSolver` *and* the flat clause-arena :class:`ArenaSolver` — the
+two must be behaviourally indistinguishable (verdicts, cores, budget and
+reuse semantics), which the differential fuzz suite at the bottom checks
+head-to-head on randomized instances.
+"""
 
 from __future__ import annotations
 
@@ -8,8 +15,15 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.errors import SatError
+from repro.sat.arena import ArenaSolver
 from repro.sat.cnf import CNF, parse_dimacs, to_dimacs
 from repro.sat.solver import SatSolver, solve_cnf
+
+#: Both kernels must pass every contract test.
+KERNELS = [SatSolver, ArenaSolver]
+KERNEL_IDS = ["reference", "arena"]
+
+pytestmark_kernels = pytest.mark.parametrize("solver_cls", KERNELS, ids=KERNEL_IDS)
 
 
 class TestCnf:
@@ -53,12 +67,13 @@ class TestCnf:
         assert len(dup) == 2
 
 
+@pytestmark_kernels
 class TestSolverBasics:
-    def test_empty_formula_is_sat(self):
-        assert SatSolver().solve().satisfiable is True
+    def test_empty_formula_is_sat(self, solver_cls):
+        assert solver_cls().solve().satisfiable is True
 
-    def test_unit_clauses(self):
-        solver = SatSolver()
+    def test_unit_clauses(self, solver_cls):
+        solver = solver_cls()
         solver.add_clause([1])
         solver.add_clause([-2])
         result = solver.solve()
@@ -66,14 +81,14 @@ class TestSolverBasics:
         assert result.value(1) is True
         assert result.value(2) is False
 
-    def test_trivial_unsat(self):
-        solver = SatSolver()
+    def test_trivial_unsat(self, solver_cls):
+        solver = solver_cls()
         solver.add_clause([1])
         solver.add_clause([-1])
         assert solver.solve().satisfiable is False
 
-    def test_simple_implication_chain(self):
-        solver = SatSolver()
+    def test_simple_implication_chain(self, solver_cls):
+        solver = solver_cls()
         solver.add_clause([-1, 2])
         solver.add_clause([-2, 3])
         solver.add_clause([1])
@@ -81,58 +96,40 @@ class TestSolverBasics:
         assert result.satisfiable
         assert result.value(3) is True
 
-    def test_model_satisfies_all_clauses(self):
+    def test_model_satisfies_all_clauses(self, solver_cls):
         clauses = [[1, 2, 3], [-1, -2], [-2, -3], [-1, -3], [2, 3]]
-        result = solve_cnf(CNF(clauses))
+        result = solver_cls(CNF(clauses)).solve()
         assert result.satisfiable
         for clause in clauses:
             assert any(result.value(abs(l)) == (l > 0) for l in clause)
 
-    def test_pigeonhole_3_into_2_unsat(self):
-        # 3 pigeons, 2 holes: variable p_{i,h} = 1 + 2*i + h
-        clauses = []
-        for pigeon in range(3):
-            clauses.append([1 + 2 * pigeon, 2 + 2 * pigeon])
-        for hole in range(2):
-            for i in range(3):
-                for j in range(i + 1, 3):
-                    clauses.append([-(1 + 2 * i + hole), -(1 + 2 * j + hole)])
-        assert solve_cnf(CNF(clauses)).satisfiable is False
+    def test_pigeonhole_3_into_2_unsat(self, solver_cls):
+        assert solver_cls(CNF(_pigeonhole_clauses(3, 2))).solve().satisfiable is False
 
-    def test_assumptions_sat_and_unsat(self):
-        solver = SatSolver()
+    def test_assumptions_sat_and_unsat(self, solver_cls):
+        solver = solver_cls()
         solver.add_clause([1, 2])
         assert solver.solve(assumptions=[-1]).satisfiable is True
         assert solver.solve(assumptions=[-1, -2]).satisfiable is False
         # The solver is reusable after assumption-based calls.
         assert solver.solve().satisfiable is True
 
-    def test_conflict_budget_returns_unknown(self):
+    def test_conflict_budget_returns_unknown(self, solver_cls):
         # A hard pigeonhole instance with a tiny budget must return None.
-        holes, pigeons = 5, 6
-        clauses = []
-        def var(p, h):
-            return 1 + p * holes + h
-        for p in range(pigeons):
-            clauses.append([var(p, h) for h in range(holes)])
-        for h in range(holes):
-            for i in range(pigeons):
-                for j in range(i + 1, pigeons):
-                    clauses.append([-var(i, h), -var(j, h)])
-        result = SatSolver(CNF(clauses)).solve(conflict_budget=5)
+        result = solver_cls(CNF(_pigeonhole_clauses(6, 5))).solve(conflict_budget=5)
         assert result.satisfiable is None
 
-    def test_duplicate_literals_and_tautologies(self):
-        solver = SatSolver()
+    def test_duplicate_literals_and_tautologies(self, solver_cls):
+        solver = solver_cls()
         solver.add_clause([1, 1, 2])
         solver.add_clause([3, -3])  # tautology, silently dropped
         assert solver.solve().satisfiable is True
 
-    def test_conflict_budget_is_per_call(self):
+    def test_conflict_budget_is_per_call(self, solver_cls):
         # Regression: the budget used to be compared against the lifetime
         # conflict counter, so on a reused instance a later budgeted call
         # started with its budget already (partially) spent.
-        solver = SatSolver(CNF(_pigeonhole_clauses(5, 4)))
+        solver = solver_cls(CNF(_pigeonhole_clauses(5, 4)))
         first = solver.solve(conflict_budget=5)
         assert first.satisfiable is None
         assert solver.stats.conflicts == 5
@@ -142,6 +139,25 @@ class TestSolverBasics:
         assert solver.stats.conflicts == 10
         # And without a budget the instance still decides the query.
         assert solver.solve().satisfiable is False
+
+    def test_result_stats_are_detached_snapshots(self, solver_cls):
+        # Regression: solve() used to hand out the live ``self.stats``
+        # object, so a stored result's counters silently mutated on later
+        # calls against the same instance.
+        solver = solver_cls(CNF(_pigeonhole_clauses(5, 4)))
+        first = solver.solve(conflict_budget=5)
+        snapshot = first.stats.conflicts
+        assert snapshot == 5
+        solver.solve()  # burns many more conflicts on the same instance
+        assert solver.stats.conflicts > snapshot
+        assert first.stats.conflicts == snapshot
+
+    def test_need_model_false_returns_no_model(self, solver_cls):
+        solver = solver_cls()
+        solver.add_clause([1, 2])
+        result = solver.solve(need_model=False)
+        assert result.satisfiable is True
+        assert result.model == {}
 
 
 def _pigeonhole_clauses(pigeons: int, holes: int) -> list[list[int]]:
@@ -156,9 +172,10 @@ def _pigeonhole_clauses(pigeons: int, holes: int) -> list[list[int]]:
     return clauses
 
 
+@pytestmark_kernels
 class TestFailedAssumptionCores:
-    def test_core_is_subset_and_still_unsat(self):
-        solver = SatSolver()
+    def test_core_is_subset_and_still_unsat(self, solver_cls):
+        solver = solver_cls()
         solver.add_clause([-1, 3])
         solver.add_clause([-2, 4])
         result = solver.solve(assumptions=[1, 2, -3])
@@ -170,11 +187,8 @@ class TestFailedAssumptionCores:
         # Re-solving under only the core stays UNSAT.
         assert solver.solve(assumptions=result.core).satisfiable is False
 
-    def test_core_on_nontrivial_search(self):
-        # UNSAT only through real conflict-driven search (pigeonhole under
-        # the assumption that two pigeons share a hole is still UNSAT after
-        # removing the assumptions' pigeons? no — the base instance is SAT).
-        solver = SatSolver(CNF(_pigeonhole_clauses(3, 3)))
+    def test_core_on_nontrivial_search(self, solver_cls):
+        solver = solver_cls(CNF(_pigeonhole_clauses(3, 3)))
         assert solver.solve().satisfiable is True
         result = solver.solve(assumptions=[2, 5])  # pigeon 0 and 1 in hole 1
         assert result.satisfiable is False
@@ -183,23 +197,23 @@ class TestFailedAssumptionCores:
         # The instance stays healthy for later queries.
         assert solver.solve().satisfiable is True
 
-    def test_empty_core_iff_root_unsat(self):
-        solver = SatSolver()
+    def test_empty_core_iff_root_unsat(self, solver_cls):
+        solver = solver_cls()
         solver.add_clause([1])
         solver.add_clause([-1])
         result = solver.solve(assumptions=[2])
         assert result.satisfiable is False
         assert result.core == []
 
-    def test_contradictory_assumptions(self):
-        solver = SatSolver()
+    def test_contradictory_assumptions(self, solver_cls):
+        solver = solver_cls()
         solver.add_clause([1, 2])
         result = solver.solve(assumptions=[3, -3])
         assert result.satisfiable is False
         assert set(result.core) == {3, -3}
 
-    def test_assumption_unsat_does_not_poison(self):
-        solver = SatSolver()
+    def test_assumption_unsat_does_not_poison(self, solver_cls):
+        solver = solver_cls()
         solver.add_clause([1, 2])
         solver.add_clause([-3, -1])
         assert solver.solve(assumptions=[3, 1]).satisfiable is False
@@ -208,11 +222,11 @@ class TestFailedAssumptionCores:
         assert solver.solve(assumptions=[3]).satisfiable is True
         assert solver.solve().satisfiable is True
 
-    def test_in_search_root_conflict_latches_unsat(self):
+    def test_in_search_root_conflict_latches_unsat(self, solver_cls):
         # UNSAT discovered *during* search (not by pre-search propagation)
         # must poison the instance: every later call answers False with an
         # empty core without re-searching.
-        solver = SatSolver(CNF(_pigeonhole_clauses(4, 3)))
+        solver = solver_cls(CNF(_pigeonhole_clauses(4, 3)))
         result = solver.solve()
         assert result.satisfiable is False
         assert result.core == []
@@ -223,20 +237,20 @@ class TestFailedAssumptionCores:
         assert again.core == []
         assert solver.stats.conflicts == conflicts_before  # no re-search
 
-    def test_assumptions_reserve_variables(self):
+    def test_assumptions_reserve_variables(self, solver_cls):
         # Assuming a literal over a never-seen variable must not crash.
-        solver = SatSolver()
+        solver = solver_cls()
         solver.add_clause([1, 2])
         result = solver.solve(assumptions=[7])
         assert result.satisfiable is True
         assert result.value(7) is True
 
     @pytest.mark.parametrize("seed", range(8))
-    def test_random_cores_shrink_and_hold(self, seed):
+    def test_random_cores_shrink_and_hold(self, solver_cls, seed):
         rng = random.Random(seed)
         num_vars = rng.randint(4, 9)
         clauses = _random_cnf(rng, num_vars, rng.randint(5, 30))
-        solver = SatSolver(CNF(clauses, num_vars=num_vars))
+        solver = solver_cls(CNF(clauses, num_vars=num_vars))
         assumptions = []
         for v in range(1, num_vars + 1):
             if rng.random() < 0.6:
@@ -273,24 +287,126 @@ def _brute_force_sat(clauses: list[list[int]], num_vars: int) -> bool:
     return False
 
 
+def _model_satisfies(result, clauses: list[list[int]]) -> bool:
+    return all(
+        any(result.value(abs(l)) == (l > 0) for l in clause) for clause in clauses
+    )
+
+
+@pytestmark_kernels
 class TestSolverAgainstBruteForce:
     @pytest.mark.parametrize("seed", range(12))
-    def test_random_small_instances(self, seed):
+    def test_random_small_instances(self, solver_cls, seed):
         rng = random.Random(seed)
         num_vars = rng.randint(3, 8)
         clauses = _random_cnf(rng, num_vars, rng.randint(3, 25))
         expected = _brute_force_sat(clauses, num_vars)
-        result = solve_cnf(CNF(clauses, num_vars=num_vars))
+        result = solver_cls(CNF(clauses, num_vars=num_vars)).solve()
         assert result.satisfiable is expected
         if expected:
-            for clause in clauses:
-                assert any(result.value(abs(l)) == (l > 0) for l in clause)
+            assert _model_satisfies(result, clauses)
 
     @settings(max_examples=25, deadline=None)
     @given(st.integers(min_value=0, max_value=10_000))
-    def test_random_instances_hypothesis(self, seed):
+    def test_random_instances_hypothesis(self, solver_cls, seed):
         rng = random.Random(seed)
         num_vars = rng.randint(2, 7)
         clauses = _random_cnf(rng, num_vars, rng.randint(2, 20))
         expected = _brute_force_sat(clauses, num_vars)
-        assert bool(solve_cnf(CNF(clauses, num_vars=num_vars))) is expected
+        result = solver_cls(CNF(clauses, num_vars=num_vars)).solve()
+        assert bool(result) is expected
+
+
+def test_solve_cnf_uses_default_kernel():
+    # The convenience helper stays on the reference solver's module but must
+    # agree with both kernels on a decided instance.
+    assert solve_cnf(CNF([[1, 2], [-1], [-2]])).satisfiable is False
+
+
+class TestDifferentialFuzz:
+    """Arena vs reference, head-to-head on randomized incremental workloads.
+
+    Search paths legitimately diverge between the kernels (different
+    tie-breaks in clause-DB reduction and restarts), so the comparison is
+    semantic, never trace-level: identical verdicts on decided queries,
+    model validity on SAT, core validity (subset + still-UNSAT, checked on
+    *both* kernels) on UNSAT, and continued agreement after an
+    assumption-UNSAT answer on the same instances.
+    """
+
+    @pytest.mark.parametrize("seed", range(25))
+    def test_incremental_assumption_queries_agree(self, seed):
+        rng = random.Random(0xA5A5 + seed)
+        num_vars = rng.randint(5, 12)
+        reference = SatSolver()
+        arena = ArenaSolver()
+        reference.reserve(num_vars)
+        arena.reserve(num_vars)
+        clauses: list[list[int]] = []
+        for round_no in range(4):
+            # Grow both instances with the same fresh random clauses.
+            for clause in _random_cnf(rng, num_vars, rng.randint(3, 12)):
+                clauses.append(clause)
+                reference.add_clause(clause)
+                arena.add_clause(clause)
+            assumptions = []
+            for v in range(1, num_vars + 1):
+                if rng.random() < 0.4:
+                    assumptions.append(v if rng.random() < 0.5 else -v)
+            r = reference.solve(assumptions=assumptions)
+            a = arena.solve(assumptions=assumptions)
+            assert r.satisfiable is a.satisfiable, (
+                f"verdict divergence (round {round_no}, assumptions "
+                f"{assumptions}): reference={r.satisfiable} arena={a.satisfiable}"
+            )
+            if a.satisfiable:
+                assert _model_satisfies(a, clauses)
+                assert _model_satisfies(r, clauses)
+                for lit in assumptions:
+                    assert a.value(abs(lit)) is (lit > 0)
+            elif a.satisfiable is False:
+                for result in (r, a):
+                    assert result.core is not None
+                    assert set(result.core) <= set(assumptions)
+                # Each kernel's core must keep the *other* kernel UNSAT too.
+                assert reference.solve(assumptions=a.core).satisfiable is False
+                assert arena.solve(assumptions=r.core).satisfiable is False
+                # Empty core <=> root UNSAT, and the kernels agree on it.
+                assert (not r.core) == (not a.core)
+                if not a.core:
+                    assert arena.solve().satisfiable is False
+                    assert reference.solve().satisfiable is False
+                    return  # both latched root-UNSAT; nothing left to grow
+            # Both instances must remain usable for the next round.
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_budgeted_queries_agree_when_decided(self, seed):
+        # Under a conflict budget the kernels may disagree on *whether* they
+        # decided (search paths diverge), but never on a decided verdict —
+        # re-checked budget-free whenever one side answered None.
+        rng = random.Random(0xB0B0 + seed)
+        num_vars = rng.randint(8, 14)
+        clauses = _random_cnf(rng, num_vars, rng.randint(30, 60))
+        reference = SatSolver(CNF(clauses, num_vars=num_vars))
+        arena = ArenaSolver(CNF(clauses, num_vars=num_vars))
+        budget = rng.randint(1, 20)
+        r = reference.solve(conflict_budget=budget)
+        a = arena.solve(conflict_budget=budget)
+        if r.satisfiable is not None and a.satisfiable is not None:
+            assert r.satisfiable is a.satisfiable
+        # An exhausted budget never corrupts state: the budget-free
+        # re-query on the same instances must agree.
+        assert reference.solve().satisfiable is arena.solve().satisfiable
+
+    @pytest.mark.parametrize("pigeons,holes", [(4, 3), (5, 4)])
+    def test_pigeonhole_unsat_and_latching_agree(self, pigeons, holes):
+        clauses = _pigeonhole_clauses(pigeons, holes)
+        reference = SatSolver(CNF(clauses))
+        arena = ArenaSolver(CNF(clauses))
+        assert reference.solve().satisfiable is False
+        assert arena.solve().satisfiable is False
+        # Both latch root-UNSAT: immediate empty-core answers afterwards.
+        for solver in (reference, arena):
+            again = solver.solve(assumptions=[1])
+            assert again.satisfiable is False
+            assert again.core == []
