@@ -1,0 +1,177 @@
+#!/usr/bin/env python
+"""Bug-zoo campaign benchmark: seeded mutations vs the three-way oracle (JSON).
+
+Runs a deterministic campaign of seeded bug instances drawn round-robin
+from every registered mutation family, plus one bug-free control per
+distinct verification configuration, through the differential oracle
+(concrete executor replay ∥ BMC ∥ IC3/PDR).  The committed regression
+recipes are replayed as their own section.
+
+The exit status gates on **verdicts only**:
+
+* every conclusive seeded instance is *detected* and its counterexample
+  *concretises* — the dispatched instruction sequence, replayed on the
+  golden ISA executor, stays QED-consistent while the mutated design's
+  trace diverges (a detection is never an encoding artefact);
+* bug-free controls raise no false alarm on any engine;
+* no engine disagrees with another (PDR refutation chains are validated
+  against the property and may never undercut the minimal BMC trace);
+* budget-starved instances report ``inconclusive`` — counted, bounded
+  (≤10% of the campaign), never wrong.
+
+Wall-clock numbers appear in the JSON for curiosity but are never
+asserted: CI runners are single-CPU and timing gates there are noise.
+Structural counters (detection rate, counterexample lengths, conflicts)
+are the trajectory data, committed as ``BENCH_zoo.json``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_zoo.py [--smoke] [--count N]
+                                                  [--jobs N] [--out results.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+from repro.zoo import (
+    CampaignConfig,
+    OracleSettings,
+    instantiate,
+    load_recipes,
+    run_instance,
+)
+from repro.zoo.campaign import run_campaign, summarize
+
+REGRESSION_RECIPES = "tests/data/regression_recipes.json"
+
+
+def bench_campaign(args, failures: list[str]) -> dict:
+    config = CampaignConfig(
+        count=args.count,
+        seed=args.seed,
+        settings=OracleSettings(
+            engines=("bmc", "pdr"),
+            pdr_total_budget=args.pdr_budget,
+        ),
+        jobs=args.jobs,
+    )
+    start = time.perf_counter()
+    report = run_campaign(config)
+    summary = report.summary
+
+    if summary["disagreements"]:
+        failures.append(
+            f"campaign: {summary['disagreements']} engine disagreement(s): "
+            f"{summary['failures']}"
+        )
+    if summary["false_alarms"]:
+        failures.append(
+            f"campaign: {summary['false_alarms']} false alarm(s) on controls"
+        )
+    if summary["detection_rate"] is not None and summary["detection_rate"] != 1.0:
+        failures.append(
+            f"campaign: detection rate {summary['detection_rate']} != 1.0 "
+            "on conclusive seeded instances"
+        )
+    if not summary["all_detected_concretized"]:
+        failures.append("campaign: a detection failed executor concretization")
+    if summary["inconclusive"] > summary["instances"] // 10:
+        failures.append(
+            f"campaign: {summary['inconclusive']}/{summary['instances']} "
+            "instances inconclusive (>10%)"
+        )
+
+    per_instance = [
+        {
+            "family": r.family,
+            "seed": r.recipe.get("seed"),
+            "status": r.status,
+            "bmc": r.bmc_verdict,
+            "pdr": r.pdr_verdict,
+            "cex_length": r.cex_length,
+            "pdr_chain_length": r.pdr_chain_length,
+            "conflicts": r.conflicts,
+        }
+        for r in report.seeded
+    ]
+    return {
+        "config": report.config,
+        "summary": summary,
+        "seconds": round(time.perf_counter() - start, 4),
+        "instances": per_instance,
+        "controls": [
+            {"family": r.family, "status": r.status, "conflicts": r.conflicts}
+            for r in report.controls
+        ],
+    }
+
+
+def bench_regressions(failures: list[str]) -> dict:
+    recipes = load_recipes(REGRESSION_RECIPES)
+    settings = OracleSettings(engines=("bmc",))
+    start = time.perf_counter()
+    reports = [run_instance(instantiate(r), settings) for r in recipes]
+    summary = summarize(reports, [])
+    if not summary["passed"]:
+        failures.append(
+            f"regression recipes: {summary['failures'] or 'replay failed'}"
+        )
+    return {
+        "recipes": [r.as_dict() for r in recipes],
+        "summary": summary,
+        "seconds": round(time.perf_counter() - start, 4),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true", help="small suite for CI")
+    parser.add_argument(
+        "--count",
+        type=int,
+        default=None,
+        help="seeded instances (default: 12 smoke / 200 full)",
+    )
+    parser.add_argument("--seed", type=int, default=2024)
+    parser.add_argument("--jobs", type=int, default=2)
+    parser.add_argument(
+        "--pdr-budget",
+        type=int,
+        default=4_000,
+        help="cumulative PDR effort per instance; exhausted ⇒ inconclusive",
+    )
+    parser.add_argument("--out", default=None, help="write the JSON report here")
+    args = parser.parse_args(argv)
+    if args.count is None:
+        args.count = 12 if args.smoke else 200
+
+    failures: list[str] = []
+    report = {
+        "smoke": args.smoke,
+        "campaign": bench_campaign(args, failures),
+        "regression_recipes": bench_regressions(failures),
+        "failures": failures,
+        "gate": (
+            "verdicts only: 100% detection on conclusive seeded instances, "
+            "all counterexamples executor-concretized, zero false alarms, "
+            "zero engine disagreements (never wall-clock)"
+        ),
+    }
+
+    text = json.dumps(report, indent=2)
+    print(text)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+    if failures:
+        print(f"FAILED: {len(failures)} correctness gate(s) tripped", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -33,6 +33,7 @@ from repro.proc.config import ProcessorConfig
 from repro.proc.bugs import (
     Bug,
     BugKind,
+    BugRecipe,
     bug_catalog,
     get_bug,
     single_instruction_bugs,
@@ -67,6 +68,16 @@ from repro.pdr import InvariantCheck, PdrEngine, PdrResult, check_invariant
 from repro.solve import EncodingStats, PipelineConfig, SolverContext, default_opt_level
 from repro.ts.system import TransitionSystem
 from repro.btor import write_btor2, parse_btor2
+from repro.zoo import (
+    CampaignConfig,
+    OracleReport,
+    OracleSettings,
+    ZooInstance,
+    run_campaign,
+    run_instance,
+    sample_recipe,
+    shrink_recipe,
+)
 
 __version__ = "1.0.0"
 
@@ -82,6 +93,7 @@ __all__ = [
     "ProcessorConfig",
     "Bug",
     "BugKind",
+    "BugRecipe",
     "bug_catalog",
     "get_bug",
     "single_instruction_bugs",
@@ -126,5 +138,13 @@ __all__ = [
     "TransitionSystem",
     "write_btor2",
     "parse_btor2",
+    "CampaignConfig",
+    "OracleReport",
+    "OracleSettings",
+    "ZooInstance",
+    "run_campaign",
+    "run_instance",
+    "sample_recipe",
+    "shrink_recipe",
     "__version__",
 ]

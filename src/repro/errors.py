@@ -55,6 +55,21 @@ class ProcessorError(ReproError):
     """Invalid processor configuration or unknown bug identifier."""
 
 
+class UnknownBugError(ProcessorError, KeyError):
+    """Bug name not in the catalog.
+
+    Subclasses :class:`KeyError` too, so dict-style lookups through
+    :func:`repro.proc.bugs.get_bug` can be caught either way.
+    """
+
+    def __str__(self) -> str:  # KeyError would repr() the message
+        return Exception.__str__(self)
+
+
+class ZooError(ReproError):
+    """Bug-zoo misuse: unknown family, invalid recipe, or bad campaign config."""
+
+
 class QedError(ReproError):
     """Invalid QED register partition or transformation failure."""
 

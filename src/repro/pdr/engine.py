@@ -168,7 +168,12 @@ class PdrEngine:
     (``proven=None``); ``generalize=False`` disables the extra literal-
     dropping pass after the core-driven drop (the core drop itself is free
     and always on).  ``conflict_budget`` caps each individual SAT query;
-    an exhausted budget aborts the run with ``proven=None``.
+    ``total_conflict_budget`` caps the *cumulative* effort of the whole run
+    (each query charges its conflicts plus one, so propagation-only query
+    storms count too) — the knob campaign drivers use to bound a run whose
+    individual queries are all cheap but whose obligation count is not (the
+    QED processor models produce exactly that shape).  Exhausting either
+    budget aborts the run with ``proven=None``.
     """
 
     def __init__(
@@ -193,10 +198,15 @@ class PdrEngine:
         property_name: str,
         max_frames: Optional[int] = None,
         conflict_budget: Optional[int] = None,
+        total_conflict_budget: Optional[int] = None,
     ) -> PdrResult:
         """Run IC3/PDR on ``property_name``."""
         if property_name not in self.ts.properties:
             raise PdrError(f"unknown property {property_name!r}")
+        if total_conflict_budget is not None and total_conflict_budget < 0:
+            raise PdrError(
+                f"total_conflict_budget must be >= 0, got {total_conflict_budget}"
+            )
         run = _PdrRun(
             self.ts,
             property_name,
@@ -205,6 +215,7 @@ class PdrEngine:
             max_frames=max_frames if max_frames is not None else self.max_frames,
             generalize=self.generalize,
             conflict_budget=conflict_budget,
+            total_conflict_budget=total_conflict_budget,
         )
         return run.prove()
 
@@ -221,11 +232,14 @@ class _PdrRun:
         max_frames: int,
         generalize: bool,
         conflict_budget: Optional[int],
+        total_conflict_budget: Optional[int] = None,
     ):
         self.property_name = property_name
         self.max_frames = max_frames
         self.generalize = generalize
         self.conflict_budget = conflict_budget
+        self.total_conflict_budget = total_conflict_budget
+        self._conflicts_spent = 0
         self.stats = PdrStats()
 
         # The property only needs its cone of influence (same reduction the
@@ -394,12 +408,23 @@ class _PdrRun:
     # ---------------------------------------------------------------- queries
 
     def _check(self, ctx: SolverContext, assumptions, need_model: bool):
+        budget = self.conflict_budget
+        if self.total_conflict_budget is not None:
+            remaining = self.total_conflict_budget - self._conflicts_spent
+            if remaining <= 0:
+                raise _GiveUp()
+            budget = remaining if budget is None else min(budget, remaining)
         result = ctx.check(
             assumptions=assumptions,
-            conflict_budget=self.conflict_budget,
+            conflict_budget=budget,
             full_model=need_model,
             need_model=need_model,
         )
+        # Each query charges its conflicts plus one: obligation storms on
+        # buggy models are dominated by propagation-only queries (measured
+        # ~0.2 conflicts/query), so a pure conflict count would never bound
+        # them.  The +1 makes the total budget also a query budget.
+        self._conflicts_spent += 1 + result.stats.conflicts
         if result.satisfiable is None:
             raise _GiveUp()
         return result

@@ -34,7 +34,7 @@ import enum
 from dataclasses import dataclass, field
 from typing import Callable, Mapping, Optional
 
-from repro.errors import ProcessorError
+from repro.errors import ProcessorError, UnknownBugError
 from repro.proc.config import ProcessorConfig
 from repro.smt import terms as T
 from repro.smt.terms import BV
@@ -47,6 +47,45 @@ class BugKind(enum.Enum):
 
     SINGLE_INSTRUCTION = "single"
     MULTIPLE_INSTRUCTION = "multiple"
+
+
+@dataclass(frozen=True)
+class BugRecipe:
+    """Provenance of a *generated* bug: ``(family, params, seed)``.
+
+    The static catalog below carries ``recipe=None``; bugs minted by
+    :mod:`repro.zoo` carry the exact recipe that rebuilds them, so any
+    instance that slips through a campaign can be reproduced from three
+    values.  ``params`` is a sorted tuple of ``(key, value)`` pairs so the
+    recipe is hashable and its JSON form is canonical.
+    """
+
+    family: str
+    params: tuple[tuple[str, object], ...] = ()
+    seed: int = 0
+
+    def as_dict(self) -> dict:
+        return {
+            "family": self.family,
+            "params": {k: v for k, v in self.params},
+            "seed": self.seed,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "BugRecipe":
+        try:
+            family = data["family"]
+            params = data.get("params", {})
+            seed = data.get("seed", 0)
+        except (TypeError, AttributeError) as exc:
+            raise ProcessorError(f"malformed bug recipe: {data!r}") from exc
+        if not isinstance(family, str) or not isinstance(seed, int):
+            raise ProcessorError(f"malformed bug recipe: {data!r}")
+        return cls(
+            family=family,
+            params=tuple(sorted(params.items())),
+            seed=seed,
+        )
 
 
 @dataclass(frozen=True)
@@ -63,6 +102,9 @@ class Bug:
     #: Extra opcodes that should be in the DUV pool so the bug can be both
     #: triggered and exposed (e.g. the opcodes of the equivalent program).
     recommended_pool: tuple[str, ...] = ()
+    #: Where the bug came from: ``None`` for the hand-written catalog,
+    #: the generating :class:`BugRecipe` for :mod:`repro.zoo` instances.
+    recipe: Optional[BugRecipe] = None
 
     def apply(self, hook: str, cfg: ProcessorConfig, ctx: dict, default: BV) -> BV:
         """Return the (possibly mutated) value of ``hook``."""
@@ -361,9 +403,27 @@ def _multiple_instruction_bug_list() -> list[Bug]:
 # Public catalog
 # ----------------------------------------------------------------------------
 
-_SINGLE = {bug.name: bug for bug in _single_instruction_bug_list()}
-_MULTIPLE = {bug.name: bug for bug in _multiple_instruction_bug_list()}
-_ALL = {**_SINGLE, **_MULTIPLE}
+def _build_catalog(*bug_lists: list[Bug]) -> dict[str, Bug]:
+    """Merge bug lists into a name-keyed dict, rejecting duplicate names.
+
+    A plain dict comprehension would let a later entry silently shadow an
+    earlier one with the same name — exactly the kind of catalog rot that
+    makes "all N bugs detected" claims vacuous.
+    """
+    catalog: dict[str, Bug] = {}
+    for bugs in bug_lists:
+        for bug in bugs:
+            if bug.name in catalog:
+                raise ProcessorError(
+                    f"duplicate bug name {bug.name!r} in the catalog"
+                )
+            catalog[bug.name] = bug
+    return catalog
+
+
+_SINGLE = _build_catalog(_single_instruction_bug_list())
+_MULTIPLE = _build_catalog(_multiple_instruction_bug_list())
+_ALL = _build_catalog(list(_SINGLE.values()), list(_MULTIPLE.values()))
 
 
 def bug_catalog() -> dict[str, Bug]:
@@ -382,8 +442,13 @@ def multiple_instruction_bugs() -> list[Bug]:
 
 
 def get_bug(name: str) -> Bug:
-    """Look up a bug by name."""
+    """Look up a bug by name.
+
+    Raises :class:`~repro.errors.UnknownBugError` (a :class:`ProcessorError`
+    *and* a :class:`KeyError`) listing the known names on a miss.
+    """
     bug = _ALL.get(name)
     if bug is None:
-        raise ProcessorError(f"unknown bug {name!r}")
+        known = ", ".join(sorted(_ALL))
+        raise UnknownBugError(f"unknown bug {name!r}; known bugs: {known}")
     return bug

@@ -1,0 +1,7 @@
+"""Entry point for ``python -m repro.zoo``."""
+
+import sys
+
+from repro.zoo.cli import main
+
+sys.exit(main())

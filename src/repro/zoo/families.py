@@ -1,0 +1,590 @@
+"""Parameterized, seeded mutation families — the generative bug zoo.
+
+Each family is a template of processor bugs: :meth:`MutationFamily.sample`
+draws concrete parameters from a seeded RNG and :meth:`MutationFamily.build`
+turns a ``(family, params, seed)`` recipe into a ready-to-verify
+:class:`ZooInstance` (an injectable :class:`~repro.proc.bugs.Bug` plus the
+processor configuration, flow kind and BMC bound it should be verified
+under).  The same recipe always rebuilds the same instance, which is what
+makes campaign failures reproducible from three values.
+
+Family-to-detector mapping (the paper's core observation): a mutation that
+corrupts one instruction's semantics *uniformly* corrupts the original and
+its EDDI-V duplicate identically, so classic SQED cannot see it — those
+families carry ``flow_kind="sepe"`` (SEPE-SQED's equivalent programs avoid
+the corrupted data path).  Mutations of the hazard-handling logic
+(forwarding, write-back) fire asymmetrically between the original and
+duplicated instruction streams and are SQED-detectable
+(``flow_kind="sqed"``).
+
+The ISSUE's family names map onto this three-stage pipeline as follows:
+"wrong-forward source" → :class:`ForwardCorruptionFamily`; "dropped/extra
+stall" → :class:`ForwardDropFamily` / the overreach modes (the model has no
+stall unit — hazards are handled purely by forwarding, so dropping or
+over-extending a forward is exactly a dropped or extra hazard fix);
+"off-by-one decode field" → :class:`OperandSwapFamily` and the ``delta=1``
+corner of :class:`AluResultOffsetFamily`; "ALU op swap" →
+:class:`AluOpSwapFamily`; "flush-condition negation" → the ``negated`` mode
+of :class:`WbDropFamily` (the write-back enable is the pipeline's only
+squash condition); "immediate sign-extension flips" →
+:class:`ImmSextFlipFamily`.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Mapping, Optional
+
+from repro.errors import ZooError
+from repro.isa.config import IsaConfig
+from repro.isa.instructions import get_instruction
+from repro.proc.bugs import Bug, BugKind, BugRecipe
+from repro.proc.config import ProcessorConfig
+from repro.smt import terms as T
+from repro.smt.terms import BV
+
+#: Flow kinds an instance can ask for.
+FLOW_SQED = "sqed"
+FLOW_SEPE = "sepe"
+
+
+@dataclass(frozen=True)
+class ZooInstance:
+    """A fully instantiated zoo bug: recipe, injectable bug and model shape."""
+
+    recipe: BugRecipe
+    bug: Bug
+    config: ProcessorConfig
+    flow_kind: str
+    #: BMC bound at which the family guarantees detection (with margin).
+    bound: int
+    fifo_depth: int = 2
+
+    @property
+    def family(self) -> str:
+        return self.recipe.family
+
+    def control_key(self) -> tuple:
+        """Instances sharing this key share one bug-free control run."""
+        return (self.flow_kind, self.config, self.fifo_depth, self.bound)
+
+
+def _params_dict(recipe: BugRecipe) -> dict:
+    return {k: v for k, v in recipe.params}
+
+
+def _small_isa(xlen: int, num_regs: int, imm_width: Optional[int] = None) -> IsaConfig:
+    return IsaConfig(
+        xlen=xlen,
+        num_regs=num_regs,
+        imm_width=imm_width if imm_width is not None else min(12, xlen),
+        mem_words=4,
+    )
+
+
+class MutationFamily:
+    """One parameterized mutation template."""
+
+    name = "abstract"
+    flow_kind = FLOW_SQED
+    description = ""
+
+    def sample(self, rng: random.Random) -> dict:
+        """Draw concrete parameters for one instance."""
+        raise NotImplementedError
+
+    def build(self, recipe: BugRecipe) -> ZooInstance:
+        """Instantiate a recipe of this family."""
+        raise NotImplementedError
+
+    def shrink_candidates(self, params: Mapping) -> list[dict]:
+        """Strictly simpler parameter dicts to try during shrinking.
+
+        Ordered most-aggressive first; the shrinker keeps a candidate only
+        if the instance still reproduces the original verdict.
+        """
+        return []
+
+    # ------------------------------------------------------------- helpers
+
+    def _bug(self, recipe: BugRecipe, description: str, hooks: dict,
+             target_ops: tuple = (), recommended_pool: tuple = (),
+             kind: BugKind = BugKind.SINGLE_INSTRUCTION) -> Bug:
+        return Bug(
+            name=f"zoo_{recipe.family}_s{recipe.seed}",
+            kind=kind,
+            description=description,
+            hooks=hooks,
+            target_ops=target_ops,
+            recommended_pool=recommended_pool,
+            recipe=recipe,
+        )
+
+    def _sepe_config(self, bug: Bug, xlen: int) -> ProcessorConfig:
+        from repro.core.flow import pool_for_bug
+        from repro.qed.equivalents import default_equivalent_programs
+
+        isa = _small_isa(xlen, num_regs=8)
+        pool = pool_for_bug(bug, equivalents=default_equivalent_programs(isa))
+        return ProcessorConfig(isa=isa, supported_ops=pool)
+
+
+# ---------------------------------------------------------------------------
+# SEPE-detectable families (uniform single-instruction semantics mutations)
+# ---------------------------------------------------------------------------
+
+#: R-type opcodes with curated equivalent programs (candidates for swapping).
+_R_OPS = ("ADD", "SUB", "XOR", "OR", "AND", "SLT", "SLTU")
+
+#: Non-commutative R-type opcodes (operand-swap targets).
+_NONCOMM_OPS = ("SUB", "SLT", "SLTU")
+
+#: I-type logic opcodes whose equivalent programs avoid the op itself.
+_IMM_OPS = ("XORI", "ORI", "ANDI")
+
+
+class AluOpSwapFamily(MutationFamily):
+    """The ALU computes opcode ``replacement`` whenever ``op`` is decoded."""
+
+    name = "alu_op_swap"
+    flow_kind = FLOW_SEPE
+    description = "ALU executes a different opcode's semantics for one op"
+
+    def sample(self, rng: random.Random) -> dict:
+        op = rng.choice(_R_OPS)
+        replacement = rng.choice([o for o in _R_OPS if o != op])
+        return {"op": op, "replacement": replacement, "xlen": 4}
+
+    def build(self, recipe: BugRecipe) -> ZooInstance:
+        params = _params_dict(recipe)
+        op, replacement = params["op"], params["replacement"]
+        if op == replacement:
+            raise ZooError(f"alu_op_swap: op and replacement are both {op!r}")
+        repl_defn = get_instruction(replacement)
+
+        def hook(cfg: ProcessorConfig, ctx: dict) -> BV:
+            wrong = repl_defn.symbolic(cfg.isa, ctx["a"], ctx["b"], ctx["imm"])
+            return T.bv_ite(ctx["op_is"][op], wrong, ctx["result"])
+
+        bug = self._bug(
+            recipe,
+            f"{op} executes {replacement} semantics",
+            {"alu_result": hook},
+            target_ops=(op,),
+        )
+        return ZooInstance(
+            recipe=recipe,
+            bug=bug,
+            config=self._sepe_config(bug, xlen=int(params.get("xlen", 4))),
+            flow_kind=FLOW_SEPE,
+            bound=int(params.get("bound", 9)),
+        )
+
+    def shrink_candidates(self, params: Mapping) -> list[dict]:
+        out = []
+        if params.get("op") != "ADD" and params.get("replacement") != "ADD":
+            out.append({**params, "op": "ADD", "replacement": "SUB"})
+        if int(params.get("xlen", 4)) > 4:
+            out.append({**params, "xlen": 4})
+        return out
+
+
+class AluResultOffsetFamily(MutationFamily):
+    """One opcode's ALU result is off by a constant ``delta``."""
+
+    name = "alu_result_offset"
+    flow_kind = FLOW_SEPE
+    description = "ALU result off by a constant for one op (delta=1: off-by-one)"
+
+    def sample(self, rng: random.Random) -> dict:
+        xlen = 4
+        return {
+            "op": rng.choice(_R_OPS),
+            "delta": rng.randrange(1, (1 << xlen)),
+            "xlen": xlen,
+        }
+
+    def build(self, recipe: BugRecipe) -> ZooInstance:
+        params = _params_dict(recipe)
+        op, delta = params["op"], int(params["delta"])
+        if delta % (1 << int(params.get("xlen", 4))) == 0:
+            raise ZooError(
+                f"alu_result_offset: delta {delta} is zero modulo 2^xlen "
+                "(the mutation would be the identity)"
+            )
+
+        def hook(cfg: ProcessorConfig, ctx: dict) -> BV:
+            wrong = T.bv_add(ctx["result"], T.bv_const(delta, cfg.isa.xlen))
+            return T.bv_ite(ctx["op_is"][op], wrong, ctx["result"])
+
+        bug = self._bug(
+            recipe,
+            f"{op} result off by {delta}",
+            {"alu_result": hook},
+            target_ops=(op,),
+        )
+        return ZooInstance(
+            recipe=recipe,
+            bug=bug,
+            config=self._sepe_config(bug, xlen=int(params.get("xlen", 4))),
+            flow_kind=FLOW_SEPE,
+            bound=int(params.get("bound", 9)),
+        )
+
+    def shrink_candidates(self, params: Mapping) -> list[dict]:
+        out = []
+        if int(params.get("delta", 1)) != 1:
+            out.append({**params, "delta": 1})
+        if params.get("op") != "ADD":
+            out.append({**params, "op": "ADD"})
+        return out
+
+
+class OperandSwapFamily(MutationFamily):
+    """A non-commutative opcode reads its operands swapped (decode-field bug)."""
+
+    name = "operand_swap"
+    flow_kind = FLOW_SEPE
+    description = "rs1/rs2 swapped in the decode of one non-commutative op"
+
+    def sample(self, rng: random.Random) -> dict:
+        return {"op": rng.choice(_NONCOMM_OPS), "xlen": 4}
+
+    def build(self, recipe: BugRecipe) -> ZooInstance:
+        params = _params_dict(recipe)
+        op = params["op"]
+        defn = get_instruction(op)
+
+        def hook(cfg: ProcessorConfig, ctx: dict) -> BV:
+            wrong = defn.symbolic(cfg.isa, ctx["b"], ctx["a"], ctx["imm"])
+            return T.bv_ite(ctx["op_is"][op], wrong, ctx["result"])
+
+        bug = self._bug(
+            recipe,
+            f"{op} computed with swapped operands",
+            {"alu_result": hook},
+            target_ops=(op,),
+        )
+        return ZooInstance(
+            recipe=recipe,
+            bug=bug,
+            config=self._sepe_config(bug, xlen=int(params.get("xlen", 4))),
+            flow_kind=FLOW_SEPE,
+            bound=int(params.get("bound", 9)),
+        )
+
+    def shrink_candidates(self, params: Mapping) -> list[dict]:
+        if params.get("op") != "SUB":
+            return [{**params, "op": "SUB"}]
+        return []
+
+
+class ImmSextFlipFamily(MutationFamily):
+    """An I-type opcode zero-extends its immediate instead of sign-extending.
+
+    Only visible when ``imm_width < xlen`` (sign extension is the identity
+    otherwise), so these instances run on a custom narrow-immediate ISA.
+    """
+
+    name = "imm_sext_flip"
+    flow_kind = FLOW_SEPE
+    description = "I-type immediate zero-extended instead of sign-extended"
+
+    _SEMANTICS = {"XORI": T.bv_xor, "ORI": T.bv_or, "ANDI": T.bv_and}
+
+    def sample(self, rng: random.Random) -> dict:
+        return {"op": rng.choice(_IMM_OPS), "xlen": 4, "imm_width": 2}
+
+    def build(self, recipe: BugRecipe) -> ZooInstance:
+        params = _params_dict(recipe)
+        op = params["op"]
+        combine = self._SEMANTICS.get(op)
+        if combine is None:
+            raise ZooError(
+                f"imm_sext_flip: unsupported op {op!r}; "
+                f"expected one of {sorted(self._SEMANTICS)}"
+            )
+        xlen = int(params.get("xlen", 4))
+        imm_width = int(params.get("imm_width", 2))
+        if imm_width >= xlen:
+            raise ZooError(
+                "imm_sext_flip needs imm_width < xlen (sign extension is the "
+                f"identity otherwise); got imm_width={imm_width}, xlen={xlen}"
+            )
+
+        def hook(cfg: ProcessorConfig, ctx: dict) -> BV:
+            wrong = combine(ctx["a"], T.bv_zext(ctx["imm"], cfg.isa.xlen))
+            return T.bv_ite(ctx["op_is"][op], wrong, ctx["result"])
+
+        bug = self._bug(
+            recipe,
+            f"{op} zero-extends its immediate",
+            {"alu_result": hook},
+            target_ops=(op,),
+        )
+        from repro.core.flow import pool_for_bug
+        from repro.qed.equivalents import default_equivalent_programs
+
+        isa = _small_isa(xlen, num_regs=8, imm_width=imm_width)
+        pool = pool_for_bug(bug, equivalents=default_equivalent_programs(isa))
+        return ZooInstance(
+            recipe=recipe,
+            bug=bug,
+            config=ProcessorConfig(isa=isa, supported_ops=pool),
+            flow_kind=FLOW_SEPE,
+            bound=int(params.get("bound", 9)),
+        )
+
+    def shrink_candidates(self, params: Mapping) -> list[dict]:
+        if params.get("op") != "XORI":
+            return [{**params, "op": "XORI"}]
+        return []
+
+
+# ---------------------------------------------------------------------------
+# SQED-detectable families (hazard-handling mutations)
+# ---------------------------------------------------------------------------
+
+_FORWARD_HOOKS = {
+    "ex_rs1": "forward_ex_rs1",
+    "ex_rs2": "forward_ex_rs2",
+    "wb_rs1": "forward_wb_rs1",
+    "wb_rs2": "forward_wb_rs2",
+    "store": "forward_ex_rs2_store",
+}
+
+
+def _cond_false(_cfg: ProcessorConfig, _ctx: dict) -> BV:
+    return T.bv_false()
+
+
+class ForwardDropFamily(MutationFamily):
+    """One forwarding path is missing (a dropped hazard fix)."""
+
+    name = "forward_drop"
+    flow_kind = FLOW_SQED
+    description = "one operand-forwarding path dropped"
+
+    def sample(self, rng: random.Random) -> dict:
+        return {"which": rng.choice(sorted(_FORWARD_HOOKS)), "xlen": 4}
+
+    def build(self, recipe: BugRecipe) -> ZooInstance:
+        params = _params_dict(recipe)
+        which = params["which"]
+        hook_name = _FORWARD_HOOKS.get(which)
+        if hook_name is None:
+            raise ZooError(
+                f"forward_drop: unknown path {which!r}; "
+                f"expected one of {sorted(_FORWARD_HOOKS)}"
+            )
+        bug = self._bug(
+            recipe,
+            f"forwarding path {which} dropped",
+            {hook_name: _cond_false},
+            target_ops=("ADD",),
+            kind=BugKind.MULTIPLE_INSTRUCTION,
+        )
+        xlen = int(params.get("xlen", 4))
+        pool = ("ADD", "SW") if which == "store" else ("ADD", "SUB")
+        return ZooInstance(
+            recipe=recipe,
+            bug=bug,
+            config=ProcessorConfig(
+                isa=_small_isa(xlen, num_regs=4), supported_ops=pool
+            ),
+            flow_kind=FLOW_SQED,
+            bound=int(params.get("bound", 8)),
+        )
+
+    def shrink_candidates(self, params: Mapping) -> list[dict]:
+        if params.get("which") not in ("ex_rs1",):
+            return [{**params, "which": "ex_rs1"}]
+        return []
+
+
+class ForwardCorruptionFamily(MutationFamily):
+    """The forwarding network forwards the wrong thing (extra hazard 'fix')."""
+
+    name = "forward_corruption"
+    flow_kind = FLOW_SQED
+    description = "forwarding fires wrongly: bad source or overreach"
+
+    # A priority-swap mode (write-back beats execute) was measured but
+    # excluded: its shortest counterexample needs three same-rd writers in
+    # flight and BMC past bound 9 on this model, which is outside the zoo's
+    # per-instance budget.  The static catalog keeps that mutation as
+    # multi_forward_priority_swapped.
+    _MODES = ("wrong_value", "ignore_write_enable")
+
+    def sample(self, rng: random.Random) -> dict:
+        return {"mode": rng.choice(self._MODES), "xlen": 4}
+
+    def build(self, recipe: BugRecipe) -> ZooInstance:
+        params = _params_dict(recipe)
+        mode = params["mode"]
+        xlen = int(params.get("xlen", 4))
+        pool: tuple = ("ADD", "SUB")
+        if mode == "wrong_value":
+            hooks = {"forward_ex_value": lambda cfg, ctx: ctx["ex_a"]}
+            description = "execute stage forwards its first operand, not its result"
+        elif mode == "ignore_write_enable":
+            def overreach(cfg: ProcessorConfig, ctx: dict) -> BV:
+                return T.bv_and(
+                    T.bv_and(ctx["ex_valid"], T.bv_eq(ctx["ex_rd"], ctx["rs_idx"])),
+                    T.bv_ne(ctx["rs_idx"], T.bv_const(0, ctx["rs_idx"].width)),
+                )
+
+            hooks = {"forward_ex_rs1": overreach}
+            description = "forwarding triggers even from non-writing producers"
+            pool = ("ADD", "SW")
+        else:
+            raise ZooError(
+                f"forward_corruption: unknown mode {mode!r}; "
+                f"expected one of {self._MODES}"
+            )
+        bug = self._bug(
+            recipe,
+            description,
+            hooks,
+            target_ops=("ADD",),
+            kind=BugKind.MULTIPLE_INSTRUCTION,
+        )
+        return ZooInstance(
+            recipe=recipe,
+            bug=bug,
+            config=ProcessorConfig(
+                isa=_small_isa(xlen, num_regs=4), supported_ops=pool
+            ),
+            flow_kind=FLOW_SQED,
+            bound=int(params.get("bound", 8)),
+        )
+
+    def shrink_candidates(self, params: Mapping) -> list[dict]:
+        if params.get("mode") != "wrong_value":
+            return [{**params, "mode": "wrong_value"}]
+        return []
+
+
+class WbDropFamily(MutationFamily):
+    """The register-file write enable is corrupted in the write-back stage."""
+
+    name = "wb_drop"
+    flow_kind = FLOW_SQED
+    description = "write-back enable dropped under a condition, or negated"
+
+    _MODES = ("double_write", "after_op", "negated")
+
+    def sample(self, rng: random.Random) -> dict:
+        mode = rng.choice(self._MODES)
+        params: dict = {"mode": mode, "xlen": 4}
+        if mode == "after_op":
+            params["op"] = rng.choice(("ADD", "SUB"))
+        return params
+
+    def build(self, recipe: BugRecipe) -> ZooInstance:
+        params = _params_dict(recipe)
+        mode = params["mode"]
+        xlen = int(params.get("xlen", 4))
+        pool: tuple = ("ADD", "SUB")
+        if mode == "double_write":
+            def hook(cfg: ProcessorConfig, ctx: dict) -> BV:
+                return T.bv_and(
+                    ctx["cond"],
+                    T.bv_not(
+                        T.bv_and(ctx["ex_valid"], T.bv_eq(ctx["ex_rd"], ctx["wb_rd"]))
+                    ),
+                )
+
+            description = "write dropped when the next instruction names the same rd"
+            # The drop is architecturally invisible if the trailing
+            # instruction really writes rd (it overwrites anyway) — SW
+            # carries an rd field without writing it, which exposes the bug.
+            pool = ("ADD", "SW")
+        elif mode == "after_op":
+            op = params.get("op", "SUB")
+
+            def hook(cfg: ProcessorConfig, ctx: dict, _op=op) -> BV:
+                return T.bv_and(
+                    ctx["cond"],
+                    T.bv_not(T.bv_and(ctx["ex_valid"], ctx["ex_op_is"][_op])),
+                )
+
+            description = f"write dropped when the next instruction is {op}"
+        elif mode == "negated":
+            def hook(cfg: ProcessorConfig, ctx: dict) -> BV:
+                return T.bv_not(ctx["cond"])
+
+            description = "write-back enable negated (the squash condition flipped)"
+            pool = ("ADD", "SW")
+        else:
+            raise ZooError(
+                f"wb_drop: unknown mode {mode!r}; expected one of {self._MODES}"
+            )
+        bug = self._bug(
+            recipe,
+            description,
+            {"wb_write_cond": hook},
+            target_ops=("ADD",),
+            kind=BugKind.MULTIPLE_INSTRUCTION,
+        )
+        # double_write's shortest trace needs one extra frame (the asymmetric
+        # drop only shows when the two streams interleave differently).
+        default_bound = 9 if mode == "double_write" else 8
+        return ZooInstance(
+            recipe=recipe,
+            bug=bug,
+            config=ProcessorConfig(
+                isa=_small_isa(xlen, num_regs=4), supported_ops=pool
+            ),
+            flow_kind=FLOW_SQED,
+            bound=int(params.get("bound", default_bound)),
+        )
+
+    def shrink_candidates(self, params: Mapping) -> list[dict]:
+        if params.get("mode") != "double_write":
+            return [{k: v for k, v in params.items() if k != "op"}
+                    | {"mode": "double_write"}]
+        return []
+
+
+# ---------------------------------------------------------------------------
+# Registry
+# ---------------------------------------------------------------------------
+
+FAMILIES: dict[str, MutationFamily] = {
+    family.name: family
+    for family in (
+        AluOpSwapFamily(),
+        AluResultOffsetFamily(),
+        OperandSwapFamily(),
+        ImmSextFlipFamily(),
+        ForwardDropFamily(),
+        ForwardCorruptionFamily(),
+        WbDropFamily(),
+    )
+}
+
+
+def get_family(name: str) -> MutationFamily:
+    family = FAMILIES.get(name)
+    if family is None:
+        raise ZooError(
+            f"unknown mutation family {name!r}; known families: "
+            + ", ".join(sorted(FAMILIES))
+        )
+    return family
+
+
+def sample_recipe(family_name: str, seed: int) -> BugRecipe:
+    """Deterministically draw one recipe of ``family_name`` from ``seed``."""
+    family = get_family(family_name)
+    params = family.sample(random.Random(seed))
+    return BugRecipe(
+        family=family_name, params=tuple(sorted(params.items())), seed=seed
+    )
+
+
+def instantiate(recipe: BugRecipe) -> ZooInstance:
+    """Rebuild the exact instance a recipe describes."""
+    return get_family(recipe.family).build(recipe)

@@ -226,3 +226,85 @@ class TestExecutor:
             assemble("XORI x4, x2, 0xff\nADD x5, x4, x3\nXORI x1, x5, 0xff"),
         )
         assert state.read_reg(1) == direct.read_reg(1)
+
+
+class TestEdgeSemantics:
+    """Corner semantics the pipeline model leans on: shift-amount masking,
+    high-half multiplies, and immediate sign extension.  Each case checks
+    the concrete executor against the symbolic encoding evaluated on the
+    same operands, so the two semantics cannot drift apart silently."""
+
+    @pytest.fixture(scope="class")
+    def narrow_imm(self):
+        # imm_width < xlen: sign extension of immediates is *not* the
+        # identity here, unlike IsaConfig.small().
+        return IsaConfig(xlen=8, num_regs=8, imm_width=4, mem_words=4)
+
+    def _cross_check(self, cfg, name, rs1, rs2, imm=0):
+        instr = Instruction(name, rd=1, rs1=2, rs2=3, imm=imm)
+        concrete = result_value(cfg, instr, rs1, rs2)
+        sym = symbolic_result(
+            cfg,
+            name,
+            T.bv_const(rs1, cfg.xlen),
+            T.bv_const(rs2, cfg.xlen),
+            T.bv_const(imm, cfg.imm_width),
+        )
+        assert evaluate(sym, {}) == concrete
+        return concrete
+
+    @pytest.mark.parametrize("name", ["SLL", "SRL", "SRA"])
+    @pytest.mark.parametrize("amount", [0, 1, 7, 8, 9, 15, 255])
+    def test_shift_amount_masked_modulo_xlen(self, small_isa, name, amount):
+        # Only the low log2(xlen) bits of rs2 participate: shifting by
+        # xlen+k behaves exactly like shifting by k.
+        value = 0b1011_0110
+        got = self._cross_check(small_isa, name, value, amount)
+        want = self._cross_check(small_isa, name, value, amount % small_isa.xlen)
+        assert got == want
+
+    def test_sra_fills_with_sign_bit(self, small_isa):
+        assert self._cross_check(small_isa, "SRA", 0x80, 3) == 0xF0
+        assert self._cross_check(small_isa, "SRA", 0x40, 3) == 0x08
+
+    @pytest.mark.parametrize(
+        "a,b",
+        [(0, 0), (255, 255), (200, 200), (1, 255), (128, 2), (17, 19)],
+    )
+    def test_mulhu_returns_upper_half_unsigned(self, small_isa, a, b):
+        assert self._cross_check(small_isa, "MULHU", a, b) == (a * b) >> 8
+
+    def test_mulh_vs_mulhu_disagree_on_negative_operands(self, small_isa):
+        # 0xFF is -1 signed: MULH sees -1 * 2 = -2 (upper half 0xFF),
+        # MULHU sees 255 * 2 = 510 (upper half 1).
+        assert self._cross_check(small_isa, "MULH", 0xFF, 2) == 0xFF
+        assert self._cross_check(small_isa, "MULHU", 0xFF, 2) == 0x01
+
+    @pytest.mark.parametrize("name", ["ADDI", "SLTI"])
+    def test_itype_immediate_sign_extends(self, narrow_imm, name):
+        # imm=0b1111 in a 4-bit field is -1 after sign extension.
+        if name == "ADDI":
+            assert self._cross_check(narrow_imm, name, 10, 0, imm=0b1111) == 9
+        else:
+            # rs1 = -3 signed (0xFD) < -1, so SLTI yields 1.
+            assert self._cross_check(narrow_imm, name, 0xFD, 0, imm=0b1111) == 1
+            assert self._cross_check(narrow_imm, name, 5, 0, imm=0b1111) == 0
+
+    def test_logical_itype_immediates_also_sign_extend(self, narrow_imm):
+        # RISC-V sign-extends *all* I-type immediates, including the
+        # logical ones: ANDI with imm=-1 is the identity on rs1.
+        assert self._cross_check(narrow_imm, "ANDI", 0xA5, 0, imm=0b1111) == 0xA5
+        assert self._cross_check(narrow_imm, "ORI", 0xA5, 0, imm=0b1111) == 0xFF
+        assert self._cross_check(narrow_imm, "XORI", 0xA5, 0, imm=0b1111) == 0x5A
+
+    def test_shift_immediate_uses_shamt_not_sext(self, narrow_imm):
+        # SLLI's shift amount comes from the raw shamt field, never from a
+        # sign-extended immediate: imm=0b1111 shifts by 15 & 7 = 7.
+        assert self._cross_check(narrow_imm, "SLLI", 1, 0, imm=0b1111) == 0x80
+
+    @pytest.mark.parametrize("name", ["LW", "SW"])
+    def test_memory_address_offset_sign_extends(self, narrow_imm, name):
+        # The effective address is rs1 + sext(imm): imm=-1 addresses one
+        # word *below* the base, not fifteen above it.
+        assert self._cross_check(narrow_imm, name, 5, 9, imm=0b1111) == 4
+        assert self._cross_check(narrow_imm, name, 5, 9, imm=0b0111) == 12

@@ -189,6 +189,27 @@ class TestPdrLimits:
         )
         assert result.proven is None
 
+    def test_total_conflict_budget_gives_unknown(self):
+        # The cumulative budget bounds the whole run, including the
+        # propagation-only query storms a per-query budget cannot touch
+        # (every query charges at least one unit).
+        result = PdrEngine(_piped("pdr_total", xlen=8)).prove(
+            "consistent", total_conflict_budget=3
+        )
+        assert result.proven is None
+
+    def test_total_conflict_budget_large_enough_still_proves(self):
+        result = PdrEngine(_piped("pdr_total_ok")).prove(
+            "consistent", total_conflict_budget=2_000_000
+        )
+        assert result.proven is True
+
+    def test_negative_total_conflict_budget_rejected(self):
+        with pytest.raises(PdrError):
+            PdrEngine(_piped("pdr_total_neg")).prove(
+                "consistent", total_conflict_budget=-1
+            )
+
     def test_unknown_property_rejected(self):
         with pytest.raises(PdrError):
             PdrEngine(_counter("pdr_unknown", 5)).prove("nope")
