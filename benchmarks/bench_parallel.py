@@ -182,7 +182,9 @@ def main(argv=None) -> int:
         speedup_gate = "skipped (single cpu)"
         gate_passed = True
     else:
-        gate_passed = qed[top]["seconds"] < qed["1"]["seconds"]
+        # Self-guarded: only reached with >= 2 real CPUs and not in smoke
+        # mode, where a speedup is genuinely expected.
+        gate_passed = qed[top]["seconds"] < qed["1"]["seconds"]  # selflint: allow-wallclock
         speedup_gate = "passed" if gate_passed else "FAILED"
 
     report = {

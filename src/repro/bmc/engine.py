@@ -195,7 +195,15 @@ class BmcSession:
         backend: str = "cdcl",
         context: Optional[SolverContext] = None,
         opt_level: "PipelineConfig | int | None" = None,
+        lint: Optional[str] = None,
     ):
+        # Pre-solve lint gate (``lint`` = "error"/"warn"/"off"; None defers
+        # to $REPRO_LINT_GATE, default off).  Runs before validate() so a
+        # gated session reports *every* model defect, not just the first
+        # missing next-state function.
+        from repro.lint.gate import gate_transition_system
+
+        gate_transition_system(ts, lint, where="BmcSession")
         ts.validate()
         if property_name not in ts.properties:
             raise BmcError(f"unknown property {property_name!r}")
@@ -379,12 +387,14 @@ class BmcEngine:
         start_frame: int = 0,
         backend: str = "cdcl",
         opt_level: "PipelineConfig | int | None" = None,
+        lint: Optional[str] = None,
     ):
         ts.validate()
         self.ts = ts
         self.start_frame = start_frame
         self.backend = backend
         self.opt_level = opt_level
+        self.lint = lint
 
     def session(self, property_name: str) -> BmcSession:
         """A fresh incremental session for ``property_name``."""
@@ -394,6 +404,7 @@ class BmcEngine:
             start_frame=self.start_frame,
             backend=self.backend,
             opt_level=self.opt_level,
+            lint=self.lint,
         )
 
     def check(

@@ -4,6 +4,10 @@ The parser reconstructs a :class:`~repro.ts.system.TransitionSystem` from
 ``sort`` / ``input`` / ``state`` / ``init`` / ``next`` / ``constraint`` /
 ``bad`` lines plus the word-level operators our writer produces.  Anonymous
 states and inputs get generated names so round-tripping always succeeds.
+
+Every parse failure is reported as a :class:`~repro.errors.Btor2Error`
+carrying the 1-based line number, the offending token, and the source line
+itself, so a bad file can be fixed without bisecting it by hand.
 """
 
 from __future__ import annotations
@@ -30,85 +34,142 @@ _BINARY_BUILDERS = {
 }
 
 
+class _LineError(Exception):
+    """Internal: a parse failure local to one line, pre-location."""
+
+    def __init__(self, message: str, token: str = ""):
+        super().__init__(message)
+        self.message = message
+        self.token = token
+
+
+def _fail(lineno: int, line: str, message: str, token: str = "") -> None:
+    at = f"line {lineno}"
+    if token:
+        at += f", token {token!r}"
+    raise Btor2Error(f"{at}: {message}\n    {line}")
+
+
 def parse_btor2(text: str, name: str = "parsed") -> TransitionSystem:
     """Parse BTOR2 ``text`` into a transition system."""
     ts = TransitionSystem(name=name)
     sorts: dict[int, int] = {}  # node id -> bit width
     terms: dict[int, BV] = {}  # node id -> term
     state_names: dict[int, str] = {}  # node id -> state name
-    anon_counter = 0
     bad_counter = 0
 
-    def resolve(node_id_text: str) -> BV:
-        node_id = int(node_id_text)
-        if node_id >= 0:
-            term = terms.get(node_id)
-            if term is None:
-                raise Btor2Error(f"node {node_id} referenced before definition")
-            return term
-        term = terms.get(-node_id)
-        if term is None:
-            raise Btor2Error(f"node {-node_id} referenced before definition")
-        return T.bv_not(term)
+    def as_int(token: str, what: str, base: int = 10) -> int:
+        try:
+            return int(token, base)
+        except ValueError:
+            raise _LineError(f"expected {what}, got {token!r}", token) from None
 
-    for raw_line in text.splitlines():
+    def sort_width(token: str) -> int:
+        sort_id = as_int(token, "a sort id")
+        width = sorts.get(sort_id)
+        if width is None:
+            raise _LineError(f"sort {sort_id} referenced before definition", token)
+        return width
+
+    def resolve(token: str) -> BV:
+        node_id = as_int(token, "a node id")
+        term = terms.get(abs(node_id))
+        if term is None:
+            raise _LineError(
+                f"node {abs(node_id)} referenced before definition", token
+            )
+        return T.bv_not(term) if node_id < 0 else term
+
+    def state_name(token: str) -> str:
+        state_id = as_int(token, "a state node id")
+        found = state_names.get(state_id)
+        if found is None:
+            raise _LineError(f"node {state_id} is not a state", token)
+        return found
+
+    def arg(parts: list[str], index: int, what: str) -> str:
+        if index >= len(parts):
+            raise _LineError(
+                f"truncated line: missing {what} "
+                f"(got {len(parts)} token(s), need at least {index + 1})"
+            )
+        return parts[index]
+
+    for lineno, raw_line in enumerate(text.splitlines(), 1):
         line = raw_line.split(";", 1)[0].strip()
         if not line:
             continue
         parts = line.split()
-        node_id = int(parts[0])
-        kind = parts[1]
+        try:
+            node_id = as_int(parts[0], "a node id")
+            kind = arg(parts, 1, "an operator")
 
-        if kind == "sort":
-            if parts[2] != "bitvec":
-                raise Btor2Error(f"unsupported sort {parts[2]!r} (only bitvec)")
-            sorts[node_id] = int(parts[3])
-        elif kind in ("input", "state"):
-            width = sorts[int(parts[2])]
-            if len(parts) > 3:
-                symbol_name = parts[3]
+            if kind == "sort":
+                sort_kind = arg(parts, 2, "a sort kind")
+                if sort_kind != "bitvec":
+                    raise _LineError(
+                        f"unsupported sort {sort_kind!r} (only bitvec)", sort_kind
+                    )
+                sorts[node_id] = as_int(arg(parts, 3, "a bit width"), "a bit width")
+            elif kind in ("input", "state"):
+                width = sort_width(arg(parts, 2, "a sort id"))
+                symbol_name = parts[3] if len(parts) > 3 else f"{kind}_{node_id}"
+                if kind == "input":
+                    terms[node_id] = ts.add_input(symbol_name, width)
+                else:
+                    terms[node_id] = ts.add_state(symbol_name, width)
+                    state_names[node_id] = symbol_name
+            elif kind in ("constd", "const", "consth"):
+                width = sort_width(arg(parts, 2, "a sort id"))
+                base = {"constd": 10, "const": 2, "consth": 16}[kind]
+                value_token = arg(parts, 3, "a constant value")
+                terms[node_id] = T.bv_const(
+                    as_int(value_token, f"a base-{base} constant", base), width
+                )
+            elif kind == "init":
+                ts.set_init(
+                    state_name(arg(parts, 3, "a state node id")),
+                    resolve(arg(parts, 4, "a value node id")),
+                )
+            elif kind == "next":
+                ts.set_next(
+                    state_name(arg(parts, 3, "a state node id")),
+                    resolve(arg(parts, 4, "a value node id")),
+                )
+            elif kind == "constraint":
+                ts.add_constraint(resolve(arg(parts, 2, "a condition node id")))
+            elif kind == "bad":
+                bad_ref = resolve(arg(parts, 2, "a condition node id"))
+                prop_name = parts[3] if len(parts) > 3 else f"bad_{bad_counter}"
+                bad_counter += 1
+                ts.add_property(prop_name, T.bv_not(bad_ref))
+            elif kind == "not":
+                terms[node_id] = T.bv_not(resolve(arg(parts, 3, "an operand")))
+            elif kind == "ite":
+                terms[node_id] = T.bv_ite(
+                    resolve(arg(parts, 3, "a condition")),
+                    resolve(arg(parts, 4, "a then-branch")),
+                    resolve(arg(parts, 5, "an else-branch")),
+                )
+            elif kind == "slice":
+                terms[node_id] = T.bv_extract(
+                    resolve(arg(parts, 3, "an operand")),
+                    as_int(arg(parts, 4, "a high bit"), "a high bit"),
+                    as_int(arg(parts, 5, "a low bit"), "a low bit"),
+                )
+            elif kind == "uext":
+                width = sort_width(arg(parts, 2, "a sort id"))
+                terms[node_id] = T.bv_zext(resolve(arg(parts, 3, "an operand")), width)
+            elif kind == "sext":
+                width = sort_width(arg(parts, 2, "a sort id"))
+                terms[node_id] = T.bv_sext(resolve(arg(parts, 3, "an operand")), width)
+            elif kind in _BINARY_BUILDERS:
+                terms[node_id] = _BINARY_BUILDERS[kind](
+                    resolve(arg(parts, 3, "a left operand")),
+                    resolve(arg(parts, 4, "a right operand")),
+                )
             else:
-                symbol_name = f"{kind}_{node_id}"
-                anon_counter += 1
-            if kind == "input":
-                terms[node_id] = ts.add_input(symbol_name, width)
-            else:
-                terms[node_id] = ts.add_state(symbol_name, width)
-                state_names[node_id] = symbol_name
-        elif kind in ("constd", "const", "consth"):
-            width = sorts[int(parts[2])]
-            base = {"constd": 10, "const": 2, "consth": 16}[kind]
-            terms[node_id] = T.bv_const(int(parts[3], base), width)
-        elif kind == "init":
-            state_id = int(parts[3])
-            ts.set_init(state_names[state_id], resolve(parts[4]))
-        elif kind == "next":
-            state_id = int(parts[3])
-            ts.set_next(state_names[state_id], resolve(parts[4]))
-        elif kind == "constraint":
-            ts.add_constraint(resolve(parts[2]))
-        elif kind == "bad":
-            prop_name = parts[3] if len(parts) > 3 else f"bad_{bad_counter}"
-            bad_counter += 1
-            ts.add_property(prop_name, T.bv_not(resolve(parts[2])))
-        elif kind == "not":
-            terms[node_id] = T.bv_not(resolve(parts[3]))
-        elif kind == "ite":
-            terms[node_id] = T.bv_ite(
-                resolve(parts[3]), resolve(parts[4]), resolve(parts[5])
-            )
-        elif kind == "slice":
-            terms[node_id] = T.bv_extract(
-                resolve(parts[3]), int(parts[4]), int(parts[5])
-            )
-        elif kind == "uext":
-            width = sorts[int(parts[2])]
-            terms[node_id] = T.bv_zext(resolve(parts[3]), width)
-        elif kind == "sext":
-            width = sorts[int(parts[2])]
-            terms[node_id] = T.bv_sext(resolve(parts[3]), width)
-        elif kind in _BINARY_BUILDERS:
-            terms[node_id] = _BINARY_BUILDERS[kind](resolve(parts[3]), resolve(parts[4]))
-        else:
-            raise Btor2Error(f"unsupported BTOR2 operator {kind!r}")
+                raise _LineError(f"unsupported BTOR2 operator {kind!r}", kind)
+        except _LineError as exc:
+            _fail(lineno, line, exc.message, exc.token)
     return ts

@@ -78,6 +78,7 @@ class _BaseFlow:
         backend: str = "cdcl",
         jobs: int = 1,
         opt_level: Optional[int] = None,
+        lint: Optional[str] = None,
     ):
         self.config = config
         self.fifo_depth = fifo_depth
@@ -85,9 +86,21 @@ class _BaseFlow:
         self.backend = backend
         self.jobs = jobs
         self.opt_level = opt_level
+        #: Pre-solve lint gate mode ("error"/"warn"/"off"); ``None`` defers
+        #: to ``$REPRO_LINT_GATE`` (default off).
+        self.lint = lint
 
     def build_model(self, bug: Optional[Bug] = None) -> QedVerificationModel:
         raise NotImplementedError
+
+    def _gate_model(self, model: QedVerificationModel) -> QedVerificationModel:
+        """Run the configured lint gate over a freshly built model."""
+        from repro.lint.gate import gate_transition_system
+
+        gate_transition_system(
+            model.ts, self.lint, where=f"{type(self).__name__}"
+        )
+        return model
 
     def run(
         self,
@@ -105,9 +118,12 @@ class _BaseFlow:
         """
         effective_jobs = self.jobs if jobs is None else jobs
         start = time.perf_counter()
-        model = self.build_model(bug)
+        model = self._gate_model(self.build_model(bug))
         if effective_jobs == 1:
-            engine = BmcEngine(model.ts, backend=self.backend, opt_level=self.opt_level)
+            # lint="off": the gate above already covered this exact system.
+            engine = BmcEngine(
+                model.ts, backend=self.backend, opt_level=self.opt_level, lint="off"
+            )
             result = engine.check(
                 model.property_name, bound=bound, conflict_budget=conflict_budget
             )
@@ -174,7 +190,7 @@ class _BaseFlow:
                 f"unknown proof engine {engine!r}; expected one of {self.PROVE_ENGINES}"
             )
         start = time.perf_counter()
-        model = self.build_model(bug)
+        model = self._gate_model(self.build_model(bug))
         bug_name = None if bug is None else bug.name
         if engine == "pdr":
             pdr = PdrEngine(
@@ -269,6 +285,7 @@ class SepeSqedFlow(_BaseFlow):
         backend: str = "cdcl",
         jobs: int = 1,
         opt_level: Optional[int] = None,
+        lint: Optional[str] = None,
     ):
         super().__init__(
             config,
@@ -277,6 +294,7 @@ class SepeSqedFlow(_BaseFlow):
             backend=backend,
             jobs=jobs,
             opt_level=opt_level,
+            lint=lint,
         )
         self.num_temps = num_temps
         if equivalents is None:

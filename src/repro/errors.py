@@ -70,6 +70,21 @@ class ZooError(ReproError):
     """Bug-zoo misuse: unknown family, invalid recipe, or bad campaign config."""
 
 
+class LintError(ReproError):
+    """Static analysis failure: a lint gate rejected a model, or lint misuse."""
+
+
+class SanitizerError(ReproError):
+    """A kernel sanitizer (``REPRO_SANITIZE=1``) found a violated invariant.
+
+    Raised from inside :class:`~repro.sat.solver.SatSolver` /
+    :class:`~repro.sat.arena.ArenaSolver` when a debug-mode consistency
+    check fails — watched literals, trail monotonicity, reason clauses,
+    arena compaction, or the final model.  Always indicates kernel
+    corruption, never a property of the input formula.
+    """
+
+
 class QedError(ReproError):
     """Invalid QED register partition or transformation failure."""
 

@@ -21,8 +21,9 @@ bug traces.
 
 from __future__ import annotations
 
+import re
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Iterable, Optional
 
 from repro.errors import QedError
 from repro.isa.instructions import get_instruction
@@ -46,6 +47,24 @@ PROPERTY_NAME = "qed_consistency"
 # EDSEP-V, different pools, different bugs) can coexist in one process
 # without clashing in the hash-consed variable table.
 _MODEL_COUNTER = [0]
+
+_PREFIX_PATTERN = re.compile(r"^m(\d+)_")
+
+
+def reserve_model_prefixes(names: Iterable[str]) -> None:
+    """Advance the model-prefix counter past any ``m<N>_*`` symbol in ``names``.
+
+    A model *parsed* back from BTOR2 re-interns its original ``m<N>_``
+    symbols in the process-wide variable table; without this, the next
+    built model would reuse the same prefix and clash on any signal whose
+    width differs (a different instruction pool changes opcode and
+    immediate widths).  Importers call this after introducing foreign
+    symbol names into the process.
+    """
+    for name in names:
+        match = _PREFIX_PATTERN.match(name)
+        if match:
+            _MODEL_COUNTER[0] = max(_MODEL_COUNTER[0], int(match.group(1)))
 
 
 @dataclass

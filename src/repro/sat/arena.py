@@ -47,6 +47,15 @@ from typing import Iterable, Optional, Sequence
 
 from repro.errors import SatError
 from repro.sat.cnf import CNF
+from repro.sat.sanitize import (
+    check_arena_compaction,
+    check_arena_invariants,
+    check_arena_model,
+    check_arena_reasons,
+    check_arena_trail,
+    check_arena_watches,
+    resolve_sanitize,
+)
 from repro.sat.solver import SatResult, SolverStats, _luby
 
 #: Initial learned-clause cap; grows geometrically on every reduction.
@@ -71,11 +80,13 @@ class ArenaSolver:
         var_decay: float = 0.95,
         default_phase: bool = False,
         restart_interval: int = 100,
+        sanitize: Optional[bool] = None,
     ):
         if not (0.0 < var_decay <= 1.0):
             raise SatError(f"var_decay must be in (0, 1], got {var_decay}")
         if restart_interval < 1:
             raise SatError(f"restart_interval must be >= 1, got {restart_interval}")
+        self._sanitize = resolve_sanitize(sanitize)
         self._num_vars = 0
         # Clause storage: [size, act_slot, lits...] records; refs point at
         # the first literal of a record.
@@ -625,6 +636,8 @@ class ArenaSolver:
         if self._propagate() >= 0:
             self._ok = False
             return SatResult(False, stats=stats.copy(), core=[])
+        if self._sanitize:
+            check_arena_invariants(self)
 
         enc_assumptions = [a + a if a > 0 else 1 - a - a for a in assumptions]
         # The search loop below inlines unit propagation rather than calling
@@ -754,7 +767,14 @@ class ArenaSolver:
                         restart_count + 1
                     )
                     self._backtrack(0)
-                    self._reduce_db()
+                    if self._sanitize:
+                        check_arena_trail(self)
+                        learned_before = len(self._learned_refs)
+                        self._reduce_db()
+                        if len(self._learned_refs) < learned_before:
+                            check_arena_compaction(self)
+                    else:
+                        self._reduce_db()
                     # Reduction may have compacted into a fresh arena (the
                     # watch/value/reason containers are reused in place).
                     arena = self._arena
@@ -781,6 +801,8 @@ class ArenaSolver:
                     # and leave the instance healthy for later queries.
                     core = self._analyze_final(assumptions[dl])
                     self._backtrack(0)
+                    if self._sanitize:
+                        check_arena_invariants(self)
                     stats.propagations += props
                     return SatResult(False, stats=stats.copy(), core=core)
                 next_enc = enc
@@ -788,6 +810,10 @@ class ArenaSolver:
             if next_enc < 0:
                 var = self._decide()
                 if var == 0:
+                    if self._sanitize:
+                        check_arena_model(self)
+                        check_arena_watches(self)
+                        check_arena_reasons(self)
                     model: dict[int, bool] = {}
                     if need_model:
                         model = {

@@ -25,6 +25,14 @@ from typing import Iterable, Optional, Sequence
 
 from repro.errors import SatError
 from repro.sat.cnf import CNF
+from repro.sat.sanitize import (
+    check_reference_invariants,
+    check_reference_model,
+    check_reference_reasons,
+    check_reference_trail,
+    check_reference_watches,
+    resolve_sanitize,
+)
 
 _UNASSIGNED = 0
 _TRUE = 1
@@ -144,11 +152,13 @@ class SatSolver:
         var_decay: float = 0.95,
         default_phase: bool = False,
         restart_interval: int = 100,
+        sanitize: Optional[bool] = None,
     ):
         if not (0.0 < var_decay <= 1.0):
             raise SatError(f"var_decay must be in (0, 1], got {var_decay}")
         if restart_interval < 1:
             raise SatError(f"restart_interval must be >= 1, got {restart_interval}")
+        self._sanitize = resolve_sanitize(sanitize)
         self._num_vars = 0
         self._clauses: list[_Clause] = []
         self._learned: list[_Clause] = []
@@ -541,6 +551,8 @@ class SatSolver:
         if conflict is not None:
             self._ok = False
             return SatResult(False, stats=self.stats.copy(), core=[])
+        if self._sanitize:
+            check_reference_invariants(self)
 
         restart_count = 0
         conflicts_until_restart = self._restart_interval * _luby(restart_count + 1)
@@ -582,7 +594,14 @@ class SatSolver:
                         restart_count + 1
                     )
                     self._backtrack(0)
-                    self._reduce_db()
+                    if self._sanitize:
+                        check_reference_trail(self)
+                        learned_before = len(self._learned)
+                        self._reduce_db()
+                        if len(self._learned) < learned_before:
+                            check_reference_watches(self)
+                    else:
+                        self._reduce_db()
                 continue
 
             # No conflict: re-assert any assumption not yet satisfied.
@@ -594,6 +613,8 @@ class SatSolver:
                     # and leave the instance healthy for later queries.
                     core = self._analyze_final(a)
                     self._backtrack(0)
+                    if self._sanitize:
+                        check_reference_invariants(self)
                     return SatResult(False, stats=self.stats.copy(), core=core)
                 if val == _UNASSIGNED:
                     next_lit = a
@@ -601,6 +622,10 @@ class SatSolver:
             if next_lit == 0:
                 var = self._decide()
                 if var == 0:
+                    if self._sanitize:
+                        check_reference_model(self)
+                        check_reference_watches(self)
+                        check_reference_reasons(self)
                     model: dict[int, bool] = {}
                     if need_model:
                         model = {

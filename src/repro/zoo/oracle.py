@@ -30,6 +30,7 @@ from repro.core.flow import SepeSqedFlow, SqedFlow, _BaseFlow
 from repro.errors import ZooError
 from repro.isa.executor import ArchState, execute_program
 from repro.isa.instructions import Instruction
+from repro.lint.model import lint_transition_system
 from repro.proc.bugs import BugRecipe
 from repro.qed.module import (
     QedVerificationModel,
@@ -297,6 +298,18 @@ def run_instance(
 
     if "bmc" not in settings.engines:
         raise ZooError("the oracle always needs the BMC leg ('bmc' engine)")
+    # Static pre-check: a seeded mutation must still produce a well-formed
+    # model.  Error-severity lint findings mean the mutation broke the
+    # *encoding*, not the design's behaviour — that is an artefact of the
+    # family, not a bug instance, and counts as a disagreement so campaigns
+    # surface it instead of crediting a detection.
+    lint_report = lint_transition_system(flow.build_model(instance.bug).ts)
+    if lint_report.errors:
+        report.status = STATUS_DISAGREEMENT
+        report.failure = "seeded model failed lint: " + "; ".join(
+            f.render() for f in lint_report.errors[:3]
+        )
+        return report
     outcome = flow.run(
         instance.bug,
         bound=instance.bound,
@@ -322,7 +335,6 @@ def run_instance(
 
     report.bmc_verdict = CEX
     report.cex_length = outcome.counterexample_length
-    model = flow.build_model(instance.bug)
     # The trace came from an identically-built model; symbol names match
     # because flows build models deterministically — but never reuse the
     # *outcome's* trace against a model with a different prefix.

@@ -1,0 +1,67 @@
+"""The exception hierarchy contract: one catchable root for the library."""
+
+from __future__ import annotations
+
+import inspect
+
+import pytest
+
+import repro.errors as E
+
+
+def _public_exceptions() -> list[type]:
+    return [
+        obj
+        for _, obj in inspect.getmembers(E, inspect.isclass)
+        if issubclass(obj, Exception) and obj.__module__ == "repro.errors"
+    ]
+
+
+def test_every_public_exception_derives_from_repro_error():
+    classes = _public_exceptions()
+    assert E.ReproError in classes
+    for cls in classes:
+        assert issubclass(cls, E.ReproError), (
+            f"{cls.__name__} escapes the ReproError hierarchy; callers "
+            "catching library failures would miss it"
+        )
+
+
+def test_hierarchy_covers_every_subsystem():
+    # Spot checks for the families the rest of the suite relies on.
+    for cls in (
+        E.SatError,
+        E.SmtError,
+        E.TransitionSystemError,
+        E.Btor2Error,
+        E.BmcError,
+        E.PdrError,
+        E.ZooError,
+        E.QedError,
+        E.VerificationError,
+        E.LintError,
+        E.SanitizerError,
+    ):
+        assert issubclass(cls, E.ReproError)
+    assert issubclass(E.AssemblerError, E.IsaError)
+    assert issubclass(E.UnknownBugError, E.ProcessorError)
+
+
+def test_unknown_bug_error_is_also_a_key_error():
+    assert issubclass(E.UnknownBugError, KeyError)
+    # And it renders as a message, not as KeyError's repr of the message.
+    err = E.UnknownBugError("no bug named 'x'")
+    assert str(err) == "no bug named 'x'"
+
+
+def test_lint_and_sanitizer_errors_are_catchable_as_repro_error():
+    with pytest.raises(E.ReproError):
+        raise E.LintError("gate rejected the model")
+    with pytest.raises(E.ReproError):
+        raise E.SanitizerError("watch invariant violated")
+
+
+def test_repro_error_does_not_swallow_programming_errors():
+    # The root must not be an alias for Exception-wide catches.
+    assert not issubclass(ValueError, E.ReproError)
+    assert not issubclass(E.ReproError, (ValueError, KeyError, TypeError))

@@ -410,3 +410,176 @@ class TestDifferentialFuzz:
             again = solver.solve(assumptions=[1])
             assert again.satisfiable is False
             assert again.core == []
+
+
+class TestSanitizers:
+    """The REPRO_SANITIZE invariant layer: silent when the kernels are
+    healthy, loud when their data structures are corrupted.
+
+    The fuzz tests re-run randomized incremental workloads with the
+    sanitizers enabled — any false fire surfaces as SanitizerError, any
+    behavioural drift as a verdict mismatch against the plain kernels.
+    The injected-corruption tests then prove each sanitizer class fires:
+    a check that never trips would be indistinguishable from a no-op.
+    """
+
+    @pytestmark_kernels
+    @pytest.mark.parametrize("seed", range(6))
+    def test_sanitized_runs_match_plain_runs(self, solver_cls, seed):
+        rng = random.Random(0x5A11 + seed)
+        num_vars = rng.randint(5, 10)
+        plain = solver_cls(sanitize=False)
+        checked = solver_cls(sanitize=True)
+        plain.reserve(num_vars)
+        checked.reserve(num_vars)
+        clauses: list[list[int]] = []
+        for _ in range(3):
+            for clause in _random_cnf(rng, num_vars, rng.randint(3, 12)):
+                clauses.append(clause)
+                plain.add_clause(clause)
+                checked.add_clause(clause)
+            assumptions = [
+                v if rng.random() < 0.5 else -v
+                for v in range(1, num_vars + 1)
+                if rng.random() < 0.4
+            ]
+            p = plain.solve(assumptions=assumptions)
+            c = checked.solve(assumptions=assumptions)
+            assert p.satisfiable is c.satisfiable
+            if c.satisfiable:
+                assert _model_satisfies(c, clauses)
+            elif c.satisfiable is False and not c.core:
+                return  # root-UNSAT latched on both
+
+    @pytestmark_kernels
+    def test_sanitized_reduction_and_restarts(self, solver_cls):
+        # Force the database-reduction path (normally 2000 learned clauses
+        # away) so the post-compaction checks run, with frequent restarts.
+        rng = random.Random(0xBEEF)
+        clauses = _random_cnf(rng, 14, 70) + _pigeonhole_clauses(4, 3)
+        solver = solver_cls(restart_interval=2, sanitize=True)
+        solver._learned_limit = 10
+        num_vars = max(abs(l) for cl in clauses for l in cl)
+        solver.reserve(num_vars)
+        for clause in clauses:
+            solver.add_clause(clause)
+        assert solver.solve().satisfiable is False
+
+    def test_env_variable_sets_process_default(self, monkeypatch):
+        from repro.errors import SanitizerError
+        from repro.sat.sanitize import default_sanitize
+
+        monkeypatch.setenv("REPRO_SANITIZE", "1")
+        assert SatSolver()._sanitize is True
+        assert ArenaSolver()._sanitize is True
+        # An explicit argument always beats the environment.
+        assert SatSolver(sanitize=False)._sanitize is False
+        monkeypatch.setenv("REPRO_SANITIZE", "off")
+        assert ArenaSolver()._sanitize is False
+        monkeypatch.delenv("REPRO_SANITIZE")
+        assert SatSolver()._sanitize is False
+        monkeypatch.setenv("REPRO_SANITIZE", "maybe")
+        with pytest.raises(SanitizerError, match="REPRO_SANITIZE"):
+            default_sanitize()
+
+    # ------------------------- injected corruption: reference kernel ----
+
+    def test_reference_watch_corruption_fires(self):
+        from repro.errors import SanitizerError
+
+        solver = SatSolver(CNF([[1, 2], [-1, 2]]), sanitize=True)
+        # Detach one watcher entry behind the solver's back.
+        for watch_list in solver._watches:
+            if watch_list:
+                watch_list.pop()
+                break
+        with pytest.raises(SanitizerError, match=r"\[watches\]"):
+            solver.solve()
+
+    def test_reference_model_corruption_fires(self):
+        from repro.errors import SanitizerError
+        from repro.sat.solver import _Clause
+
+        solver = SatSolver(CNF([[1, 2]]), sanitize=True)
+        # A clause the watch machinery never sees: the final full-model
+        # scan is the only check that can catch it being falsified.
+        solver._clauses.append(_Clause([-1, -2]))
+        with pytest.raises(SanitizerError, match=r"\[model\]"):
+            solver.solve(assumptions=[1, 2])
+
+    def test_reference_trail_corruption_fires(self):
+        from repro.errors import SanitizerError
+        from repro.sat.sanitize import check_reference_trail
+
+        solver = SatSolver(CNF([[1, 2]], num_vars=3), sanitize=True)
+        solver._trail.append(3)  # variable 3 was never assigned
+        with pytest.raises(SanitizerError, match=r"\[trail\]"):
+            check_reference_trail(solver)
+
+    def test_reference_reason_corruption_fires(self):
+        from repro.errors import SanitizerError
+        from repro.sat.sanitize import check_reference_reasons
+        from repro.sat.solver import _Clause
+
+        solver = SatSolver(CNF([[1, 2]]), sanitize=True)
+        solver._assign[1] = 1
+        solver._trail.append(1)
+        solver._reason[1] = _Clause([2, 1])  # implied literal not first
+        with pytest.raises(SanitizerError, match=r"\[reasons\]"):
+            check_reference_reasons(solver)
+
+    # ----------------------------- injected corruption: arena kernel ----
+
+    def test_arena_watch_corruption_fires(self):
+        from repro.errors import SanitizerError
+
+        solver = ArenaSolver(CNF([[1, 2], [-1, 2]]), sanitize=True)
+        for watch_list in solver._watches:
+            if watch_list:
+                del watch_list[-2:]  # drop one [blocker, ref] pair
+                break
+        with pytest.raises(SanitizerError, match=r"\[watches\]"):
+            solver.solve()
+
+    def test_arena_record_corruption_fires(self):
+        from repro.errors import SanitizerError
+        from repro.sat.sanitize import check_arena_integrity
+
+        solver = ArenaSolver(CNF([[1, 2], [-1, 2]]), sanitize=True)
+        ref = solver._clause_refs[0]
+        solver._arena[ref - 2] = 1  # size header below the 2-literal floor
+        with pytest.raises(SanitizerError, match=r"\[arena\]"):
+            check_arena_integrity(solver)
+
+    def test_arena_model_corruption_fires(self):
+        from repro.errors import SanitizerError
+        from repro.sat.sanitize import check_arena_model
+
+        solver = ArenaSolver(CNF([[1, 2]]), sanitize=True)
+        # Hand-falsify the only clause: var1 = var2 = false.
+        solver._values[2], solver._values[3] = -1, 1
+        solver._values[4], solver._values[5] = -1, 1
+        with pytest.raises(SanitizerError, match=r"\[model\]"):
+            check_arena_model(solver)
+
+    def test_arena_trail_corruption_fires(self):
+        from repro.errors import SanitizerError
+        from repro.sat.sanitize import check_arena_trail
+
+        solver = ArenaSolver(CNF([[1, 2]], num_vars=2), sanitize=True)
+        solver._trail.append(2 * 2)  # encoded var-2 literal, never assigned
+        with pytest.raises(SanitizerError, match=r"\[trail\]"):
+            check_arena_trail(solver)
+
+    def test_arena_reason_corruption_fires(self):
+        from repro.errors import SanitizerError
+        from repro.sat.sanitize import check_arena_reasons
+
+        solver = ArenaSolver(CNF([[1, 2], [-1, 2]]), sanitize=True)
+        assert solver.solve().satisfiable is True
+        # Point var 1's reason at a clause that does not imply it.
+        solver._values[2], solver._values[3] = 1, -1
+        solver._trail[:] = [2]
+        solver._reason[1] = solver._clause_refs[1]
+        with pytest.raises(SanitizerError, match=r"\[reasons\]"):
+            check_arena_reasons(solver)

@@ -194,3 +194,103 @@ class TestBtor2:
         text = write_btor2(model.ts)
         assert "bad" in text and "constraint" in text
         assert text.count("state") > 10
+
+
+class TestCoiEdgeCases:
+    """Cone-of-influence reduction on degenerate property shapes.
+
+    Each case checks the contract that matters: the reduced system's BMC
+    verdict is identical to the original's.
+    """
+
+    def test_property_referencing_no_latches(self):
+        from repro.ts.coi import reduce_to_property_cone
+
+        ts = _counter_system("coix_nolatch", 5)
+        flag = ts.add_input("coix_nolatch_flag", 1)
+        ts.add_property("flag_low", T.bv_not(T.bv_eq(flag, T.bv_true())))
+        reduction = reduce_to_property_cone(ts, "flag_low")
+        # Every latch is invisible to this property...
+        assert reduction.kept_states == []
+        assert "coix_nolatch_count" in reduction.dropped_states
+        # ...and the verdict survives the reduction (falsified by flag=1).
+        original = BmcEngine(ts).check("flag_low", bound=2)
+        reduced = BmcEngine(reduction.ts).check("flag_low", bound=2)
+        assert original.holds is reduced.holds is False
+        assert original.counterexample_length == reduced.counterexample_length
+
+    def test_property_over_inputs_only(self):
+        from repro.ts.coi import reduce_to_property_cone
+
+        ts = TransitionSystem(name="coix_inputs_only")
+        a = ts.add_input("coix_io_a", 4)
+        b = ts.add_input("coix_io_b", 4)
+        junk = ts.add_state("coix_io_junk", 4, init=0)
+        ts.set_next(junk, T.bv_add(junk, T.bv_const(1, 4)))
+        # a <= a|b: holds at every frame with no state involved, and does
+        # not constant-fold (unlike e.g. a+b == b+a, which hash-consing
+        # normalises away).
+        ts.add_property(
+            "absorb", T.bv_ule(a, T.bv_or(a, b))
+        )
+        reduction = reduce_to_property_cone(ts, "absorb")
+        assert reduction.kept_states == []
+        assert sorted(reduction.kept_inputs) == ["coix_io_a", "coix_io_b"]
+        original = BmcEngine(ts).check("absorb", bound=3)
+        reduced = BmcEngine(reduction.ts).check("absorb", bound=3)
+        assert original.holds is reduced.holds is True
+
+    def test_self_looping_latch(self):
+        from repro.ts.coi import reduce_to_property_cone
+
+        ts = TransitionSystem(name="coix_selfloop")
+        loop = ts.add_state("coix_sl_loop", 4, init=1)
+        # The latch depends only on itself: doubles until it wraps to 0.
+        ts.set_next(loop, T.bv_add(loop, loop))
+        other = ts.add_state("coix_sl_other", 4, init=0)
+        ts.set_next(other, T.bv_add(other, T.bv_const(1, 4)))
+        ts.add_property(
+            "nonzero", T.bv_not(T.bv_eq(loop, T.bv_const(0, 4)))
+        )
+        reduction = reduce_to_property_cone(ts, "nonzero")
+        # The self-loop must keep the latch live, not drop it as dead.
+        assert reduction.kept_states == ["coix_sl_loop"]
+        assert reduction.dropped_states == ["coix_sl_other"]
+        # 1 -> 2 -> 4 -> 8 -> 0: fails at frame 4 in both systems.
+        for bound, expected in ((3, True), (4, False)):
+            original = BmcEngine(ts).check("nonzero", bound=bound)
+            reduced = BmcEngine(reduction.ts).check("nonzero", bound=bound)
+            assert original.holds is reduced.holds is expected
+
+
+class TestParserDiagnostics:
+    def test_error_carries_line_number_and_token(self):
+        text = "1 sort bitvec 4\n2 state 1 pdx_r\n3 next 1 2 oops\n"
+        with pytest.raises(Btor2Error) as exc_info:
+            parse_btor2(text)
+        message = str(exc_info.value)
+        assert "line 3" in message
+        assert "'oops'" in message
+        assert "3 next 1 2 oops" in message  # the offending line verbatim
+
+    def test_truncated_line_reports_missing_operand(self):
+        with pytest.raises(Btor2Error, match="line 2.*missing"):
+            parse_btor2("1 sort bitvec 4\n2 state\n")
+
+    def test_forward_reference_names_the_line(self):
+        with pytest.raises(Btor2Error, match="line 1.*before definition"):
+            parse_btor2("1 state 7 pdx_fwd\n")
+
+    def test_init_of_non_state_names_the_token(self):
+        text = (
+            "1 sort bitvec 4\n"
+            "2 input 1 pdx_inp\n"
+            "3 constd 1 0\n"
+            "4 init 1 2 3\n"
+        )
+        with pytest.raises(Btor2Error, match="line 4.*not a state"):
+            parse_btor2(text)
+
+    def test_bad_constant_reports_base(self):
+        with pytest.raises(Btor2Error, match="line 2.*base-2"):
+            parse_btor2("1 sort bitvec 4\n2 const 1 2001\n")

@@ -1,0 +1,134 @@
+#!/usr/bin/env python
+"""Repo self-lint: benchmarks must never gate on wall-clock.
+
+The dev and CI containers frequently run on a single, heavily shared CPU,
+so any benchmark that passes or fails based on elapsed time is flaky by
+construction.  The repo rule is: benchmarks gate on *verdict equality*
+(and solver-internal counters such as conflicts); wall-clock numbers are
+reported for information only.
+
+This script enforces the rule mechanically.  It walks the AST of every
+``.py`` file under the given directories (default: ``benchmarks/``) and
+flags each comparison whose operands mention a timing quantity — an
+identifier, attribute, or string key matching ``seconds``, ``elapsed``,
+``wall``, ``runtime``, ``duration``, ``speedup`` or ``perf_counter``.
+
+Exemptions:
+
+* comparisons against a literal ``0`` — the ``entry["seconds"] > 0``
+  division-guard idiom measures nothing;
+* lines carrying a ``# selflint: allow-wallclock`` comment — for gates
+  that already guard themselves (e.g. the parallel speedup gate, which is
+  skipped on single-CPU machines and in smoke mode).
+
+Exit status: 0 when clean, 1 with a ``file:line`` listing otherwise.
+
+Usage::
+
+    python tools/selflint.py            # lints benchmarks/
+    python tools/selflint.py benchmarks tests
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+import sys
+from pathlib import Path
+
+#: Deliberately excludes the bare word "time": it would false-positive on
+#: ``timeout`` knobs and the ``time`` module name in non-gating code.
+TIMING = re.compile(
+    r"(seconds|elapsed|wall|runtime|duration|speedup|perf_counter)",
+    re.IGNORECASE,
+)
+
+ALLOW_COMMENT = "selflint: allow-wallclock"
+
+
+def _timing_words(node: ast.AST) -> list[str]:
+    """Timing-flavoured identifiers/attributes/string keys under ``node``."""
+    words: list[str] = []
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Name) and TIMING.search(sub.id):
+            words.append(sub.id)
+        elif isinstance(sub, ast.Attribute) and TIMING.search(sub.attr):
+            words.append(sub.attr)
+        elif (
+            isinstance(sub, ast.Constant)
+            and isinstance(sub.value, str)
+            and TIMING.search(sub.value)
+        ):
+            words.append(sub.value)
+    return words
+
+
+def _is_zero_literal(node: ast.AST) -> bool:
+    return (
+        isinstance(node, ast.Constant)
+        and isinstance(node.value, (int, float))
+        and not isinstance(node.value, bool)
+        and node.value == 0
+    )
+
+
+def _check_file(path: Path) -> list[tuple[int, str]]:
+    source = path.read_text(encoding="utf-8")
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as exc:
+        return [(exc.lineno or 0, f"syntax error: {exc.msg}")]
+    lines = source.splitlines()
+
+    violations: list[tuple[int, str]] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Compare):
+            continue
+        words = _timing_words(node)
+        if not words:
+            continue
+        if any(_is_zero_literal(c) for c in [node.left, *node.comparators]):
+            continue  # division/emptiness guard, not a gate
+        line_text = lines[node.lineno - 1] if node.lineno <= len(lines) else ""
+        if ALLOW_COMMENT in line_text:
+            continue
+        unique = sorted(set(words))
+        violations.append(
+            (
+                node.lineno,
+                f"comparison gates on wall-clock quantity {unique}; "
+                "benchmarks must gate on verdicts, never timing "
+                f"(suppress with '# {ALLOW_COMMENT}' if self-guarded)",
+            )
+        )
+    return violations
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = sys.argv[1:] if argv is None else argv
+    roots = [Path(a) for a in args] or [Path("benchmarks")]
+
+    files: list[Path] = []
+    for root in roots:
+        if root.is_file():
+            files.append(root)
+        elif root.is_dir():
+            files.extend(sorted(root.rglob("*.py")))
+        else:
+            print(f"selflint: no such path: {root}", file=sys.stderr)
+            return 2
+
+    total = 0
+    for path in files:
+        for lineno, message in _check_file(path):
+            print(f"{path}:{lineno}: {message}")
+            total += 1
+    if total:
+        print(f"selflint: {total} violation(s)", file=sys.stderr)
+        return 1
+    print(f"selflint: {len(files)} file(s) clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
