@@ -7,13 +7,17 @@ invariant independently re-checked — initiation, consecution, safety —
 through the ``opt_level=0`` naive reference encoding), the buggy variants
 must be *refuted*, and both verdicts are cross-checked against BMC and
 k-induction wherever those engines conclude.  On top of the suite the
-golden (bug-free) QED processor model gets its own row: a frame-bounded
-sanity run on the full ADD+SUB model in smoke mode (PDR must never
-fabricate a counterexample), and in the full suite the graduation row —
-an *unbounded* full-convergence proof on the arena SAT kernel (largest
-golden configuration that fits a CI budget: single-op ISA, depth-1 QED
-fifo, converges at frame 8) whose emitted invariant must pass the
-independent ``opt_level=0`` re-check.
+golden (bug-free) QED processor models get their own rows: a
+frame-bounded sanity run on the full ADD+SUB model in smoke mode (PDR
+must never fabricate a counterexample), and in the full suite two
+graduation rows — *unbounded* full-convergence proofs on the arena SAT
+kernel for the single-op depth-1-fifo model and, since the
+CTG-generalisation stack, for the full ADD+SUB op set on the same
+depth-1 QED fifo — each emitted invariant passing the independent
+``opt_level=0`` re-check.
+Every row reports the generalisation attribution counters
+(core/MIC/CTG literal drops, subsumption, ``F_inf`` promotions) so a
+knob campaign can see where a win came from.
 
 The exit status gates on **correctness only** — verdict agreement and
 invariant validity.  Wall-clock numbers are reported in the JSON for
@@ -130,42 +134,41 @@ def bench_design(
     return entry
 
 
-def bench_golden_processor(failures: list[str], smoke: bool) -> dict:
-    """PDR on the golden QED model.
+def _generalization_stats(outcome) -> dict:
+    """Attribution of the run's generalisation work (conflict-quality stack)."""
+    stats = outcome.pdr_stats
+    return {
+        "literals_dropped_core": stats.literals_dropped_core,
+        "literals_dropped_mic": stats.literals_dropped_mic,
+        "literals_dropped_ctg": stats.literals_dropped_ctg,
+        "ctgs_blocked": stats.ctgs_blocked,
+        "clauses_subsumed": stats.clauses_subsumed,
+        "clauses_pushed_inf": stats.clauses_pushed_inf,
+    }
 
-    Smoke mode keeps the historical frame-bounded sanity row on the full
-    ADD+SUB model (the golden design has no bug, so PDR must never refute
-    it).  The full suite runs the graduation row instead: *unbounded* PDR
-    on the largest golden configuration whose proof fits a CI budget (the
-    single-op, depth-1-fifo QED model — it converges at frame 8) must
-    prove the consistency property, and the emitted invariant must pass
-    the independent ``opt_level=0`` re-check.  Both gate on verdicts only,
-    never wall-clock.
-    """
-    isa = IsaConfig.small(xlen=4, num_regs=4)
-    if smoke:
-        name = "qed-golden-4bit"
-        config = ProcessorConfig(isa=isa, supported_ops=("ADD", "SUB"))
-        flow = SqedFlow(config)
-        max_frames = 3
-    else:
-        name = "qed-golden-4bit-add-fifo1"
-        config = ProcessorConfig(isa=isa, supported_ops=("ADD",))
-        flow = SqedFlow(config, fifo_depth=1)
-        max_frames = 12
+
+def _bench_golden_row(
+    name: str,
+    flow: SqedFlow,
+    max_frames: int,
+    mode: str,
+    failures: list[str],
+) -> dict:
     start = time.perf_counter()
     outcome = flow.prove(None, engine="pdr", max_frames=max_frames)
     entry = {
         "design": name,
         "property": "qed_consistency",
-        "mode": "frame-bounded" if smoke else "full-convergence",
+        "mode": mode,
         "max_frames": max_frames,
         "proven": outcome.proven,
         "frames": outcome.depth,
         "seconds": round(time.perf_counter() - start, 4),
         "consecution_queries": outcome.pdr_result.stats.consecution_queries,
+        "solver_conflicts": outcome.solver_stats.conflicts,
+        "generalization": _generalization_stats(outcome),
     }
-    if smoke:
+    if mode == "frame-bounded":
         if outcome.proven is False:
             failures.append(f"{name}: PDR fabricated a counterexample")
         return entry
@@ -184,6 +187,51 @@ def bench_golden_processor(failures: list[str], smoke: bool) -> dict:
     if not check.valid:
         failures.append(f"{name}: invariant failed the opt0 re-check")
     return entry
+
+
+def bench_golden_processor(failures: list[str], smoke: bool) -> list[dict]:
+    """PDR on the golden QED models.
+
+    Smoke mode keeps the historical frame-bounded sanity row on the full
+    ADD+SUB model (the golden design has no bug, so PDR must never refute
+    it).  The full suite runs the graduation rows: *unbounded* PDR must
+    converge on the single-op depth-1-fifo model **and** — since the
+    CTG-generalisation stack — on the full ADD+SUB op set over the same
+    depth-1 QED fifo, with each emitted invariant passing the independent
+    ``opt_level=0`` re-check.  (The default depth-2 fifo squares the QED
+    instruction-pair space and still exceeds the nightly budget; the op
+    set, not the fifo, is the axis this PR graduates.)  Every row gates
+    on verdicts only, never wall-clock.
+    """
+    isa = IsaConfig.small(xlen=4, num_regs=4)
+    full_config = ProcessorConfig(isa=isa, supported_ops=("ADD", "SUB"))
+    if smoke:
+        return [
+            _bench_golden_row(
+                "qed-golden-4bit",
+                SqedFlow(full_config),
+                max_frames=3,
+                mode="frame-bounded",
+                failures=failures,
+            )
+        ]
+    add_config = ProcessorConfig(isa=isa, supported_ops=("ADD",))
+    return [
+        _bench_golden_row(
+            "qed-golden-4bit-add-fifo1",
+            SqedFlow(add_config, fifo_depth=1),
+            max_frames=12,
+            mode="full-convergence",
+            failures=failures,
+        ),
+        _bench_golden_row(
+            "qed-golden-4bit-add-sub-fifo1",
+            SqedFlow(full_config, fifo_depth=1),
+            max_frames=16,
+            mode="full-convergence",
+            failures=failures,
+        ),
+    ]
 
 
 def main(argv=None) -> int:
@@ -217,7 +265,7 @@ def main(argv=None) -> int:
         "designs": designs,
         "golden_processor": bench_golden_processor(failures, args.smoke)
         if args.engine == "pdr"
-        else None,
+        else [],
         "failures": failures,
         "gate": "verdicts + invariant re-checks only (never wall-clock)",
     }

@@ -97,6 +97,14 @@ class ProofOutcome:
             return self.kinduction_result.step_solver_stats
         return None
 
+    @property
+    def pdr_stats(self):
+        """IC3/PDR work counters — generalisation attribution (core/MIC/CTG
+        literal drops), CTGs blocked, subsumption and ``F_inf`` promotion
+        counts — so benchmark harnesses can attribute where a proof's
+        conflict budget went.  ``None`` for non-PDR engines."""
+        return None if self.pdr_result is None else self.pdr_result.stats
+
     def summary_row(self) -> list[str]:
         status = {True: "proven", False: "refuted", None: "inconclusive"}[self.proven]
         return [

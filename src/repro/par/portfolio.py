@@ -46,6 +46,9 @@ class PortfolioConfig:
     var_decay: float = 0.95
     default_phase: bool = False
     restart_interval: int = 100
+    lbd_tiers: bool = True
+    phase_saving: bool = True
+    minimize: bool = True
 
     def build_backend(self):
         if is_builtin_backend(self.backend):
@@ -54,19 +57,31 @@ class PortfolioConfig:
                 default_phase=self.default_phase,
                 restart_interval=self.restart_interval,
                 kernel=TUNABLE_BACKEND_SPECS[self.backend],
+                lbd_tiers=self.lbd_tiers,
+                phase_saving=self.phase_saving,
+                minimize=self.minimize,
             )
         return create_backend(self.backend)
 
 
-#: Complementary default configurations (phase polarity, decay, restarts).
-#: The reference-kernel entry doubles as a live differential check: it
-#: races the same query on the per-object solver, and soundness means it
-#: can only ever agree with an arena winner.
+#: Complementary default configurations (phase polarity, decay, restarts,
+#: conflict-quality heuristics).  The reference-kernel entry doubles as a
+#: live differential check: it races the same query on the per-object
+#: solver, and soundness means it can only ever agree with an arena winner.
+#: The classic-heuristics entry races with every conflict-quality knob off
+#: (pure-activity retention, default phases, unminimised clauses) — a
+#: second behavioural baseline on the fast kernel.
 DEFAULT_PORTFOLIO: tuple[PortfolioConfig, ...] = (
     PortfolioConfig("cdcl-baseline"),
     PortfolioConfig("cdcl-positive-phase", default_phase=True),
     PortfolioConfig("cdcl-slow-decay", var_decay=0.99),
     PortfolioConfig("cdcl-rapid-restarts", restart_interval=30),
+    PortfolioConfig(
+        "cdcl-classic-heuristics",
+        lbd_tiers=False,
+        phase_saving=False,
+        minimize=False,
+    ),
     PortfolioConfig("cdcl-reference-kernel", backend="reference"),
 )
 

@@ -27,11 +27,27 @@ Everything runs on the PR-1 incremental substrate:
 Frames use the standard *delta encoding*: each cube is stored only at the
 highest frame whose relative-induction query blocks it, and ``F_i`` is the
 union of the cubes stored at frames ``>= i`` (frames weaken monotonically).
+
+On top of the base loop sits a *conflict-quality stack* aimed at proving
+the deep full-model QED properties:
+
+* **CTG-aware generalisation** — when a MIC drop trial fails, the
+  counterexample-to-generalisation its model exposes is itself blocked at
+  the preceding frame (recursively, bounded by ``ctg_depth``) before the
+  trial is retried;
+* an **infinite frame** ``F_inf`` — a successful propagation push whose
+  failed-assumption core names no finite frame's activation variable has
+  proven its clause inductive outright; it is promoted to a permanently
+  assumed frame and never pushed again;
+* **clause subsumption** — a newly learned cube retires every stored cube
+  it subsumes, keeping the frame stores (and the propagation passes over
+  them) small.
 """
 
 from __future__ import annotations
 
 import heapq
+import os
 import time
 from dataclasses import dataclass, field
 from typing import Optional
@@ -51,6 +67,37 @@ CubeLit = tuple[str, int, bool]
 
 #: A cube — a partial assignment of state bits, as a sorted literal tuple.
 Cube = tuple[CubeLit, ...]
+
+#: Environment variable setting the process-default CTG recursion depth.
+ENV_PDR_CTG = "REPRO_PDR_CTG"
+#: Default CTG recursion depth (0 = plain MIC, no CTG handling).
+DEFAULT_CTG_DEPTH = 1
+#: CTG blocking attempts per failed generalisation trial before giving up
+#: on the literal.
+_MAX_CTGS = 3
+
+
+def default_ctg_depth() -> int:
+    """The process default CTG depth: ``$REPRO_PDR_CTG`` when set, else 1."""
+    raw = os.environ.get(ENV_PDR_CTG)
+    if raw is None or raw.strip() == "":
+        return DEFAULT_CTG_DEPTH
+    try:
+        value = int(raw)
+    except ValueError:
+        raise PdrError(f"{ENV_PDR_CTG} must be a non-negative integer, got {raw!r}")
+    if value < 0:
+        raise PdrError(f"{ENV_PDR_CTG} must be a non-negative integer, got {raw!r}")
+    return value
+
+
+def resolve_ctg_depth(ctg_depth: Optional[int]) -> int:
+    """Normalise a ``ctg_depth`` argument (``None`` = process default)."""
+    if ctg_depth is None:
+        return default_ctg_depth()
+    if ctg_depth < 0:
+        raise PdrError(f"ctg_depth must be >= 0, got {ctg_depth}")
+    return int(ctg_depth)
 
 
 def cube_clause_term(ts: TransitionSystem, cube: Cube) -> BV:
@@ -79,9 +126,30 @@ class PdrStats:
     obligations: int = 0
     cubes_blocked: int = 0
     clauses_pushed: int = 0
-    #: Literals removed by core-driven + mic-style generalisation.
-    literals_dropped: int = 0
+    #: Literals removed by the blocking query's own failed-assumption core.
+    literals_dropped_core: int = 0
+    #: Literals removed by MIC drop trials (including their chained cores).
+    literals_dropped_mic: int = 0
+    #: Literals removed by drop trials that only went through after blocking
+    #: one or more counterexamples-to-generalisation.
+    literals_dropped_ctg: int = 0
+    #: Counterexamples-to-generalisation blocked at a preceding frame.
+    ctgs_blocked: int = 0
+    #: Stored clauses retired because a newly added clause subsumes them.
+    clauses_subsumed: int = 0
+    #: Clauses promoted to the infinite frame (inductive without any
+    #: frame's help — they hold at every depth and are never re-pushed).
+    clauses_pushed_inf: int = 0
     solver_stats: SolverStats = field(default_factory=SolverStats)
+
+    @property
+    def literals_dropped(self) -> int:
+        """Total literals removed by generalisation, over all attributions."""
+        return (
+            self.literals_dropped_core
+            + self.literals_dropped_mic
+            + self.literals_dropped_ctg
+        )
 
 
 @dataclass
@@ -167,7 +235,13 @@ class PdrEngine:
     ``max_frames`` bounds the number of frames explored before giving up
     (``proven=None``); ``generalize=False`` disables the extra literal-
     dropping pass after the core-driven drop (the core drop itself is free
-    and always on).  ``conflict_budget`` caps each individual SAT query;
+    and always on).  ``ctg_depth`` bounds the recursion of CTG-aware
+    generalisation: when a MIC drop trial fails, the counterexample-to-
+    generalisation is itself blocked at the preceding frame (up to
+    ``_MAX_CTGS`` attempts per trial, recursing up to ``ctg_depth``) before
+    the literal is abandoned.  Depth 0 is the plain MIC fallback; ``None``
+    resolves through the ``REPRO_PDR_CTG`` environment variable (default
+    1).  ``conflict_budget`` caps each individual SAT query;
     ``total_conflict_budget`` caps the *cumulative* effort of the whole run
     (each query charges its conflicts plus one, so propagation-only query
     storms count too) — the knob campaign drivers use to bound a run whose
@@ -183,6 +257,7 @@ class PdrEngine:
         opt_level: "PipelineConfig | int | None" = None,
         max_frames: int = 100,
         generalize: bool = True,
+        ctg_depth: Optional[int] = None,
     ):
         ts.validate()
         if max_frames < 1:
@@ -192,6 +267,7 @@ class PdrEngine:
         self.pipeline = PipelineConfig.resolve(opt_level)
         self.max_frames = max_frames
         self.generalize = generalize
+        self.ctg_depth = resolve_ctg_depth(ctg_depth)
 
     def prove(
         self,
@@ -214,6 +290,7 @@ class PdrEngine:
             pipeline=self.pipeline,
             max_frames=max_frames if max_frames is not None else self.max_frames,
             generalize=self.generalize,
+            ctg_depth=self.ctg_depth,
             conflict_budget=conflict_budget,
             total_conflict_budget=total_conflict_budget,
         )
@@ -233,10 +310,12 @@ class _PdrRun:
         generalize: bool,
         conflict_budget: Optional[int],
         total_conflict_budget: Optional[int] = None,
+        ctg_depth: int = DEFAULT_CTG_DEPTH,
     ):
         self.property_name = property_name
         self.max_frames = max_frames
         self.generalize = generalize
+        self.ctg_depth = ctg_depth
         self.conflict_budget = conflict_budget
         self.total_conflict_budget = total_conflict_budget
         self._conflicts_spent = 0
@@ -321,7 +400,15 @@ class _PdrRun:
         # acts[0] guards Init inside the consecution context; acts[i >= 1]
         # guard the clauses stored at frame i (in cons and bad contexts).
         self._acts: list[BV] = []
+        self._act_tids: set[int] = set()
         self._frames: list[list[Cube]] = []
+        # The infinite frame F_inf: clauses inductive relative to F_inf
+        # alone hold at every depth.  One permanent activation variable
+        # guards them and is assumed by every frame's assumption set, so
+        # every query — consecution, bad-state, propagation — benefits and
+        # the clauses are never re-pushed.
+        self._act_inf = T.fresh_var(f"pdr_actinf_{property_name}", 1)
+        self._frames_inf: list[Cube] = []
         self._ensure_frame(0)
         self._cons.add(T.bv_or(T.bv_not(self._acts[0]), self._init_term))
 
@@ -341,14 +428,14 @@ class _PdrRun:
     def _ensure_frame(self, k: int) -> None:
         while len(self._acts) <= k:
             index = len(self._acts)
-            self._acts.append(
-                T.fresh_var(f"pdr_act{index}_{self.property_name}", 1)
-            )
+            act = T.fresh_var(f"pdr_act{index}_{self.property_name}", 1)
+            self._acts.append(act)
+            self._act_tids.add(act.tid)
             self._frames.append([])
 
     def _frame_assumptions(self, k: int) -> list[BV]:
-        """Activation variables selecting ``F_k`` (frames ``k..top``)."""
-        return self._acts[k:]
+        """Activation variables selecting ``F_k`` (frames ``k..top`` + F_inf)."""
+        return [self._act_inf, *self._acts[k:]]
 
     # ------------------------------------------------------------- cube terms
 
@@ -588,9 +675,30 @@ class _PdrRun:
 
     # ----------------------------------------------------------- strengthening
 
+    def _retire_subsumed(self, cube: Cube, frame: int) -> None:
+        """Retire stored cubes that a newly added ``cube`` subsumes.
+
+        A smaller cube blocks a superset of states, so its clause makes
+        every superset cube's clause redundant.  Only the frame *store*
+        shrinks — the retired clauses stay asserted in the solver contexts
+        (activation-guarded, sound but idle) — which keeps ``_is_blocked``,
+        propagation and invariant extraction from re-visiting them.  A cube
+        stored at frame ``i`` guards exactly ``F_1..F_i``, so only levels
+        ``<= frame`` are covered by the newcomer.
+        """
+        lits = set(cube)
+        top = min(frame, len(self._frames) - 1)
+        for level in range(1, top + 1):
+            stored = self._frames[level]
+            survivors = [d for d in stored if not set(d).issuperset(lits)]
+            if len(survivors) != len(stored):
+                self.stats.clauses_subsumed += len(stored) - len(survivors)
+                self._frames[level] = survivors
+
     def _add_blocked(self, cube: Cube, frame: int) -> None:
         """Store ``¬cube`` at ``frame`` (delta encoding) in both contexts."""
         self._ensure_frame(frame)
+        self._retire_subsumed(cube, frame)
         self._frames[frame].append(cube)
         guard = T.bv_not(self._acts[frame])
         clause = T.bv_or(guard, self._clause_curr(cube))
@@ -598,17 +706,46 @@ class _PdrRun:
         self._bad.add(clause)
         self.stats.cubes_blocked += 1
 
+    def _add_inf(self, cube: Cube) -> None:
+        """Promote ``¬cube`` to the infinite frame ``F_inf``.
+
+        The clause is inductive without any finite frame's help, so it
+        holds at every depth: it subsumes copies at every finite level, is
+        never pushed again, and strengthens every future query through the
+        permanently assumed ``act_inf``.
+        """
+        self._retire_subsumed(cube, len(self._frames) - 1)
+        self._frames_inf.append(cube)
+        guard = T.bv_not(self._act_inf)
+        clause = T.bv_or(guard, self._clause_curr(cube))
+        self._cons.add(clause)
+        self._bad.add(clause)
+        self.stats.clauses_pushed_inf += 1
+
     def _is_blocked(self, cube: Cube, frame: int) -> bool:
         """Syntactic subsumption: a stored cube at ``>= frame`` covers this one."""
         lits = set(cube)
+        for blocked in self._frames_inf:
+            if lits.issuperset(blocked):
+                return True
         for level in range(frame, len(self._frames)):
             for blocked in self._frames[level]:
                 if lits.issuperset(blocked):
                     return True
         return False
 
+    def _count_dropped(self, bucket: str, count: int) -> None:
+        if count <= 0:
+            return
+        if bucket == "core":
+            self.stats.literals_dropped_core += count
+        elif bucket == "ctg":
+            self.stats.literals_dropped_ctg += count
+        else:
+            self.stats.literals_dropped_mic += count
+
     def _core_shrink(
-        self, lits: list[CubeLit], core: Optional[list[BV]]
+        self, lits: list[CubeLit], core: Optional[list[BV]], bucket: str = "core"
     ) -> list[CubeLit]:
         """Drop every literal whose primed assumption the core did not need.
 
@@ -617,6 +754,8 @@ class _PdrRun:
         the query.  Dropping literals can make the cube reach into
         ``Init``; re-add dropped literals until it is disjoint again (the
         original cube is Init-disjoint, so the repair terminates).
+        ``bucket`` attributes the removals to the stats counter of the
+        pass that produced the core (``core``/``mic``/``ctg``).
         """
         if core is None:
             return lits
@@ -632,35 +771,89 @@ class _PdrRun:
                 kept = list(lits)
                 break
             kept.append(dropped.pop())
-        self.stats.literals_dropped += len(lits) - len(kept)
+        self._count_dropped(bucket, len(lits) - len(kept))
         return kept
 
-    def _generalize(self, cube: Cube, frame: int, core: Optional[list[BV]]) -> Cube:
+    def _generalize(
+        self, cube: Cube, frame: int, core: Optional[list[BV]], depth: int = 0
+    ) -> Cube:
         """Shrink a refuted cube while keeping it refuted and Init-disjoint.
 
         The free shrink comes from the blocking query's own core
         (:meth:`_core_shrink`).  With ``generalize`` on, a MIC-style pass
         then tries to drop each surviving literal with a verdict-only
-        relative-induction query — and every successful trial's *own* core
-        shrinks the cube further, so one query often removes several
-        literals at once.
+        relative-induction query; when a drop trial fails and ``ctg_depth``
+        allows, the trial's counterexample-to-generalisation is blocked at
+        the preceding frame before the trial is retried
+        (:meth:`_ctg_down`).  ``depth`` is the current CTG recursion depth.
         """
-        kept = self._core_shrink(list(cube), core)
+        kept = self._core_shrink(list(cube), core, bucket="core")
         if self.generalize and len(kept) > 1:
-            for lit in list(kept):
-                if len(kept) <= 1:
-                    break
-                if lit not in kept:
-                    continue  # already dropped by an earlier trial's core
-                candidate = [q for q in kept if q != lit]
-                trial = tuple(sorted(candidate))
-                if self._intersects_init(trial):
-                    continue
-                result = self._relative_induction(trial, frame, need_model=False)
-                if result.satisfiable is False:
-                    self.stats.literals_dropped += 1
-                    kept = self._core_shrink(candidate, result.core)
+            kept = self._mic(kept, frame, depth)
         return tuple(sorted(kept))
+
+    def _mic(self, kept: list[CubeLit], frame: int, depth: int) -> list[CubeLit]:
+        """Try to drop each literal in turn, keeping the cube inductive.
+
+        Every successful trial's *own* core shrinks the cube further, so
+        one query often removes several literals at once.
+        """
+        for lit in list(kept):
+            if len(kept) <= 1:
+                break
+            if lit not in kept:
+                continue  # already dropped by an earlier trial's core
+            candidate = [q for q in kept if q != lit]
+            if self._intersects_init(tuple(sorted(candidate))):
+                continue
+            shrunk = self._ctg_down(candidate, frame, depth)
+            if shrunk is not None:
+                kept = shrunk
+        return kept
+
+    def _ctg_down(
+        self, candidate: list[CubeLit], frame: int, depth: int
+    ) -> Optional[list[CubeLit]]:
+        """One MIC drop trial with CTG handling.
+
+        Returns the (further core-shrunk) literal list when the candidate
+        cube is relatively inductive — possibly after blocking up to
+        ``_MAX_CTGS`` counterexamples-to-generalisation at the preceding
+        frame — or ``None`` when the drop must be abandoned.  A CTG is the
+        ``F_{frame-1}`` predecessor state the failed trial's model
+        exposes: blocking *it* (recursively generalised at ``depth + 1``)
+        strengthens ``F_{frame-1}`` enough that the retried trial often
+        succeeds, yielding much shorter clauses on the deep QED models.
+        """
+        ctgs = 0
+        while True:
+            want_model = depth < self.ctg_depth and frame > 1 and ctgs < _MAX_CTGS
+            trial = tuple(sorted(candidate))
+            result = self._relative_induction(trial, frame, need_model=want_model)
+            if result.satisfiable is False:
+                bucket = "ctg" if ctgs else "mic"
+                self._count_dropped(bucket, 1)
+                return self._core_shrink(candidate, result.core, bucket=bucket)
+            if not want_model:
+                return None
+            ctg_cube, _state = self._extract_cube(result.model)
+            if self._intersects_init(ctg_cube):
+                return None
+            ctg_result = self._relative_induction(ctg_cube, frame - 1, need_model=False)
+            if ctg_result.satisfiable is not False:
+                return None
+            blocked = self._generalize(ctg_cube, frame - 1, ctg_result.core, depth + 1)
+            # Push the CTG clause as far forward as it stays inductive so
+            # it keeps helping at the trial's own frame.
+            level = frame - 1
+            while level < len(self._acts) - 1:
+                push = self._relative_induction(blocked, level + 1, need_model=False)
+                if push.satisfiable is not False:
+                    break
+                level += 1
+            self._add_blocked(blocked, level)
+            self.stats.ctgs_blocked += 1
+            ctgs += 1
 
     # ------------------------------------------------------------- main loop
 
@@ -712,15 +905,30 @@ class _PdrRun:
         return True
 
     def _propagate(self, frontier: int) -> Optional[int]:
-        """Push clauses forward; returns the index of an inductive frame."""
+        """Push clauses forward; returns the index of an inductive frame.
+
+        Push queries are verdict-only (no model is ever read), and every
+        successful push inspects its failed-assumption core: when no
+        *finite* frame's activation variable appears in it, the refutation
+        used only ``F_inf`` and the clause's own induction hypothesis — the
+        clause is inductive at every depth and is promoted to ``F_inf``
+        instead of crawling one frame per pass.
+        """
         self._ensure_frame(frontier + 1)
         for level in range(1, frontier + 1):
             for cube in list(self._frames[level]):
-                result = self._relative_induction(cube, level + 1)
+                if cube not in self._frames[level]:
+                    continue  # retired by a subsuming push this pass
+                result = self._relative_induction(cube, level + 1, need_model=False)
                 if result.satisfiable is False:
                     self._frames[level].remove(cube)
-                    self._add_blocked(cube, level + 1)
-                    self.stats.cubes_blocked -= 1  # moved, not newly blocked
+                    if result.core is not None and not any(
+                        term.tid in self._act_tids for term in result.core
+                    ):
+                        self._add_inf(cube)
+                    else:
+                        self._add_blocked(cube, level + 1)
+                        self.stats.cubes_blocked -= 1  # moved, not newly blocked
                     self.stats.clauses_pushed += 1
             if not self._frames[level]:
                 return level
@@ -786,6 +994,7 @@ class _PdrRun:
                         for level in range(inductive + 1, len(self._frames))
                         for cube in self._frames[level]
                     ]
+                    cubes.extend(self._frames_inf)
                     return self._result(
                         start,
                         proven=True,

@@ -50,13 +50,14 @@ from repro.sat.cnf import CNF
 from repro.sat.sanitize import (
     check_arena_compaction,
     check_arena_invariants,
+    check_arena_learned,
     check_arena_model,
     check_arena_reasons,
     check_arena_trail,
     check_arena_watches,
     resolve_sanitize,
 )
-from repro.sat.solver import SatResult, SolverStats, _luby
+from repro.sat.solver import _LBD_CORE, _LBD_MID, SatResult, SolverStats, _luby
 
 #: Initial learned-clause cap; grows geometrically on every reduction.
 _INITIAL_LEARNED_LIMIT = 2000
@@ -81,19 +82,31 @@ class ArenaSolver:
         default_phase: bool = False,
         restart_interval: int = 100,
         sanitize: Optional[bool] = None,
+        lbd_tiers: bool = True,
+        phase_saving: bool = True,
+        minimize: bool = True,
     ):
         if not (0.0 < var_decay <= 1.0):
             raise SatError(f"var_decay must be in (0, 1], got {var_decay}")
         if restart_interval < 1:
             raise SatError(f"restart_interval must be >= 1, got {restart_interval}")
         self._sanitize = resolve_sanitize(sanitize)
+        self._lbd_tiers = bool(lbd_tiers)
+        self._phase_saving = bool(phase_saving)
+        self._minimize = bool(minimize)
+        # Target phases: snapshot of the deepest trail seen, restored on
+        # restart so the search re-approaches its best partial assignment.
+        self._target_phase: Optional[list[bool]] = None
+        self._best_trail = 0
         self._num_vars = 0
         # Clause storage: [size, act_slot, lits...] records; refs point at
-        # the first literal of a record.
+        # the first literal of a record.  ``act_slot`` indexes the parallel
+        # learned-clause side tables (activity and LBD).
         self._arena = array("i")
         self._clause_refs: list[int] = []
         self._learned_refs: list[int] = []
         self._cla_act: list[float] = []
+        self._cla_lbd: list[int] = []
         # watches[enc] is a flat [blocker, ref, blocker, ref, ...] list of
         # the clauses watching encoded literal ``enc``.
         self._watches: list[list[int]] = [[], []]
@@ -201,12 +214,13 @@ class ArenaSolver:
             return
         self._alloc(pruned, learned=False)
 
-    def _alloc(self, enc_lits: Sequence[int], learned: bool) -> int:
+    def _alloc(self, enc_lits: Sequence[int], learned: bool, lbd: int = 0) -> int:
         """Append a clause record to the arena and attach its watches."""
         arena = self._arena
         if learned:
             slot = len(self._cla_act)
             self._cla_act.append(0.0)
+            self._cla_lbd.append(lbd)
         else:
             slot = -1
         arena.append(len(enc_lits))
@@ -234,7 +248,8 @@ class ArenaSolver:
         var = enc >> 1
         self._level[var] = len(self._trail_lim)
         self._reason[var] = reason_ref
-        self._phase[var] = not (enc & 1)
+        if self._phase_saving:
+            self._phase[var] = not (enc & 1)
         self._trail.append(enc)
         return True
 
@@ -327,11 +342,68 @@ class ArenaSolver:
 
     # --------------------------------------------------------------- analysis
 
-    def _analyze(self, confl: int) -> tuple[list[int], int]:
+    def _lit_redundant(
+        self,
+        q: int,
+        in_learned: set[int],
+        levels: set[int],
+        removable: set[int],
+        failed: set[int],
+    ) -> bool:
+        """MiniSat's ``litRedundant`` over arena refs (encoded literal ``q``).
+
+        Same contract as the reference kernel's method: iterative DFS over
+        the implication graph, memoised per learned clause through
+        ``removable``/``failed``, pruned by the set of decision ``levels``
+        present in the clause.
+        """
+        arena = self._arena
+        level = self._level
+        reason = self._reason
+        var0 = q >> 1
+        if var0 in removable:
+            return True
+        if var0 in failed:
+            return False
+        ref0 = reason[var0]
+        if ref0 < 0:
+            return False
+        # Explicit DFS stack of (var, reason ref, next literal offset).
+        stack: list[tuple[int, int, int]] = [(var0, ref0, 0)]
+        while stack:
+            var, ref, idx = stack.pop()
+            size = arena[ref - 2]
+            descended = False
+            while idx < size:
+                rv = arena[ref + idx] >> 1
+                idx += 1
+                if (
+                    rv == var
+                    or level[rv] == 0
+                    or rv in in_learned
+                    or rv in removable
+                ):
+                    continue
+                rref = reason[rv]
+                if rref < 0 or level[rv] not in levels or rv in failed:
+                    failed.add(var)
+                    for v, _, _ in stack:
+                        failed.add(v)
+                    return False
+                stack.append((var, ref, idx))
+                stack.append((rv, rref, 0))
+                descended = True
+                break
+            if not descended:
+                removable.add(var)
+        return True
+
+    def _analyze(self, confl: int) -> tuple[list[int], int, int]:
         """First-UIP conflict analysis over arena refs.
 
         Returns the learned clause as encoded literals (asserting literal
-        first) and the backjump level.
+        first), the backjump level, and the clause's LBD (distinct decision
+        levels).
         """
         arena = self._arena
         level = self._level
@@ -394,27 +466,25 @@ class ArenaSolver:
         learned[0] = p ^ 1
         self._var_inc = var_inc
 
-        # Self-subsuming resolution (mirrors the reference solver): drop a
-        # literal whose whole reason clause is already covered.
-        if len(learned) > 1:
-            in_learned = {q >> 1 for q in learned[1:]}
+        # Recursive conflict-clause minimisation (mirrors the reference
+        # solver): self-subsuming resolution over the whole implication
+        # graph, so literals also drop through chains of implications.
+        if self._minimize and len(learned) > 1:
+            in_learned = {q >> 1 for q in learned}
+            levels = {level[q >> 1] for q in learned[1:]}
+            removable: set[int] = set()
+            not_removable: set[int] = set()
             minimized = [learned[0]]
             for q in learned[1:]:
-                qv = q >> 1
-                rref = reason[qv]
-                if rref < 0:
+                if not self._lit_redundant(
+                    q, in_learned, levels, removable, not_removable
+                ):
                     minimized.append(q)
-                    continue
-                redundant = True
-                for k in range(rref, rref + arena[rref - 2]):
-                    rv = arena[k] >> 1
-                    if rv != qv and level[rv] != 0 and rv not in in_learned:
-                        redundant = False
-                        break
-                if not redundant:
-                    minimized.append(q)
+            self.stats.minimized_literals += len(learned) - len(minimized)
             learned = minimized
 
+        lbd = len({level[q >> 1] for q in learned if level[q >> 1] > 0})
+        lbd = max(lbd, 1)
         if len(learned) == 1:
             backjump = 0
         else:
@@ -429,7 +499,7 @@ class ArenaSolver:
             backjump = max_level
         for v in touched:
             seen[v] = 0
-        return learned, backjump
+        return learned, backjump, lbd
 
     def _analyze_final(self, failed: int) -> list[int]:
         """Failed-assumption core for DIMACS assumption ``failed``.
@@ -480,6 +550,7 @@ class ArenaSolver:
         activity = self._activity
         heap = self._order_heap
         limit = self._trail_lim[target]
+        phase_saving = self._phase_saving
         count = len(trail) - limit
         if count > 64 and count * 8 >= len(heap):
             # Bulk unassignment (the per-query backtrack from a full SAT
@@ -492,7 +563,8 @@ class ArenaSolver:
             for index in range(len(trail) - 1, limit - 1, -1):
                 enc = trail[index]
                 var = enc >> 1
-                phase[var] = not (enc & 1)
+                if phase_saving:
+                    phase[var] = not (enc & 1)
                 values[enc] = 0
                 values[enc ^ 1] = 0
                 reason[var] = -1
@@ -503,7 +575,8 @@ class ArenaSolver:
             for index in range(len(trail) - 1, limit - 1, -1):
                 enc = trail[index]
                 var = enc >> 1
-                phase[var] = not (enc & 1)
+                if phase_saving:
+                    phase[var] = not (enc & 1)
                 values[enc] = 0
                 values[enc ^ 1] = 0
                 reason[var] = -1
@@ -541,10 +614,30 @@ class ArenaSolver:
         self._learned_limit += self._learned_limit >> 1
         arena = self._arena
         cla_act = self._cla_act
-        ordered = sorted(self._learned_refs, key=lambda ref: cla_act[arena[ref - 1]])
+        target = len(self._learned_refs) // 2
+        if self._lbd_tiers:
+            # Tiered retention (see SatSolver._reduce_db): core clauses
+            # (LBD <= 2) survive every reduction, locals (LBD > 6) go
+            # before mids, least active first within a tier.
+            cla_lbd = self._cla_lbd
+            ordered = [
+                ref
+                for ref in self._learned_refs
+                if cla_lbd[arena[ref - 1]] > _LBD_CORE
+            ]
+            ordered.sort(
+                key=lambda ref: (
+                    cla_lbd[arena[ref - 1]] <= _LBD_MID,
+                    cla_act[arena[ref - 1]],
+                )
+            )
+        else:
+            ordered = sorted(
+                self._learned_refs, key=lambda ref: cla_act[arena[ref - 1]]
+            )
         # Never drop clauses that are the reason of a current assignment.
         locked = {ref for ref in self._reason if ref >= 0}
-        drop = {ref for ref in ordered[: len(ordered) // 2] if ref not in locked}
+        drop = {ref for ref in ordered[:target] if ref not in locked}
         if drop:
             self._collect(drop)
 
@@ -552,8 +645,10 @@ class ArenaSolver:
         """Compact the arena, dropping ``drop``; remap refs and watchers."""
         old = self._arena
         old_act = self._cla_act
+        old_lbd = self._cla_lbd
         new = array("i")
         new_act: list[float] = []
+        new_lbd: list[int] = []
         remap: dict[int, int] = {}
         new_clauses: list[int] = []
         new_learned: list[int] = []
@@ -569,6 +664,7 @@ class ArenaSolver:
                 if learned:
                     new.append(len(new_act))
                     new_act.append(old_act[old[ref - 1]])
+                    new_lbd.append(old_lbd[old[ref - 1]])
                 else:
                     new.append(-1)
                 nref = len(new)
@@ -577,6 +673,7 @@ class ArenaSolver:
                 out.append(nref)
         self._arena = new
         self._cla_act = new_act
+        self._cla_lbd = new_lbd
         self._clause_refs = new_clauses
         self._learned_refs = new_learned
         reason = self._reason
@@ -633,6 +730,7 @@ class ArenaSolver:
         if not self._ok:
             return SatResult(False, stats=stats.copy(), core=[])
         self._backtrack(0)
+        self._best_trail = 0  # target phases track the deepest trail per call
         if self._propagate() >= 0:
             self._ok = False
             return SatResult(False, stats=stats.copy(), core=[])
@@ -744,14 +842,27 @@ class ArenaSolver:
                     self._ok = False
                     stats.propagations += props
                     return SatResult(False, stats=stats.copy(), core=[])
-                learned, backjump = self._analyze(confl)
+                if self._phase_saving and len(trail) > self._best_trail:
+                    # Deepest trail of this call so far: snapshot the trail
+                    # polarities as the target restored on restart.  (The
+                    # inline propagation loop skips per-enqueue phase
+                    # writes, so the snapshot is composed from the trail.)
+                    self._best_trail = len(trail)
+                    target_phase = self._phase.copy()
+                    for enc in trail:
+                        target_phase[enc >> 1] = not (enc & 1)
+                    self._target_phase = target_phase
+                learned, backjump, lbd = self._analyze(confl)
+                if self._sanitize:
+                    check_arena_learned(self, learned)
                 self._backtrack(backjump)
                 qhead = self._qhead
                 if len(learned) == 1:
                     self._enqueue(learned[0], -1)
                 else:
-                    ref = self._alloc(learned, learned=True)
+                    ref = self._alloc(learned, learned=True, lbd=lbd)
                     stats.learned_clauses += 1
+                    stats.lbd_sum += lbd
                     self._enqueue(learned[0], ref)
                 self._var_inc /= self._var_decay
                 self._cla_inc /= self._cla_decay
@@ -767,6 +878,13 @@ class ArenaSolver:
                         restart_count + 1
                     )
                     self._backtrack(0)
+                    if self._phase_saving and self._target_phase is not None:
+                        # Target-phase reset: re-approach the deepest partial
+                        # assignment seen instead of a drifted phase mix.
+                        phase = self._phase
+                        tp = self._target_phase
+                        n = min(len(phase), len(tp))
+                        phase[:n] = tp[:n]
                     if self._sanitize:
                         check_arena_trail(self)
                         learned_before = len(self._learned_refs)
@@ -825,7 +943,10 @@ class ArenaSolver:
                     self._backtrack(0)
                     return result
                 stats.decisions += 1
-                next_enc = var + var if self._phase[var] else var + var + 1
+                phase = self._phase[var]
+                if phase != self._default_phase:
+                    stats.saved_phase_hits += 1
+                next_enc = var + var if phase else var + var + 1
             trail_lim.append(len(trail))
             if len(trail_lim) > stats.max_decision_level:
                 stats.max_decision_level = len(trail_lim)

@@ -21,13 +21,19 @@ structure invariants at every quiescent point of the search:
   arena parses back into exactly the recorded clause refs, activity slots
   are a bijection, and reason refs survived the remap;
 * **model soundness** — every SAT answer is checked against *every* clause
-  (problem and learned) before it is returned.
+  (problem and learned) before it is returned;
+* **learned-clause implication** — after every conflict analysis the
+  (recursively minimised) learned clause must still be falsified by the
+  conflicting assignment with its asserting literal at the conflict level,
+  so a minimisation pass that drops a load-bearing literal is caught at the
+  conflict that produced it.
 
 A violated invariant raises :class:`~repro.errors.SanitizerError` — it
-always means kernel corruption, never a property of the input.  The checks
-only run at decision points of the solve loop (entry, restarts, reductions
-and answers), so the asymptotic cost is a handful of database scans per
-query, not one per conflict.
+always means kernel corruption, never a property of the input.  Apart from
+the per-conflict learned-clause check (which is O(clause), not O(database)),
+the checks only run at decision points of the solve loop (entry, restarts,
+reductions and answers), so the asymptotic cost is a handful of database
+scans per query, not one per conflict.
 """
 
 from __future__ import annotations
@@ -204,6 +210,41 @@ def check_reference_model(solver) -> None:
                     "model",
                     f"SAT answer falsifies a {group} clause: {clause.lits}",
                 )
+
+
+def check_reference_learned(solver, learned) -> None:
+    """A (minimised) learned clause must still imply the conflict.
+
+    Called right after conflict analysis, before the backjump: every literal
+    of the learned clause must be false under the conflicting assignment
+    (so the clause genuinely forbids the state that produced the conflict —
+    a minimisation that dropped a load-bearing literal breaks this), and
+    the asserting literal must sit at the current decision level so the
+    backjump makes the clause unit.
+    """
+    current_level = len(solver._trail_lim)
+    for lit in learned:
+        var = abs(lit)
+        value = solver._assign[var]
+        if value == 0:
+            _fail(
+                solver,
+                "learned",
+                f"learned clause {learned} holds unassigned literal {lit}",
+            )
+        if (value == 1) == (lit > 0):
+            _fail(
+                solver,
+                "learned",
+                f"learned clause {learned} is not conflicting: {lit} is true",
+            )
+    if solver._level[abs(learned[0])] != current_level:
+        _fail(
+            solver,
+            "learned",
+            f"asserting literal {learned[0]} not at conflict level "
+            f"{current_level}",
+        )
 
 
 def check_reference_invariants(solver) -> None:
@@ -405,6 +446,34 @@ def check_arena_model(solver) -> None:
                     "model",
                     f"SAT answer falsifies a {group} clause at ref {ref}",
                 )
+
+
+def check_arena_learned(solver, learned) -> None:
+    """Arena twin of :func:`check_reference_learned` (encoded literals)."""
+    values = solver._values
+    current_level = len(solver._trail_lim)
+    for enc in learned:
+        value = values[enc]
+        if value == 0:
+            _fail(
+                solver,
+                "learned",
+                f"learned clause {list(learned)} holds unassigned literal {enc}",
+            )
+        if value == 1:
+            _fail(
+                solver,
+                "learned",
+                f"learned clause {list(learned)} is not conflicting: "
+                f"{enc} is true",
+            )
+    if solver._level[learned[0] >> 1] != current_level:
+        _fail(
+            solver,
+            "learned",
+            f"asserting literal {learned[0]} not at conflict level "
+            f"{current_level}",
+        )
 
 
 def check_arena_invariants(solver) -> None:

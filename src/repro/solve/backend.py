@@ -113,6 +113,13 @@ class CdclBackend:
     not eroded by the conflicts of earlier queries on the same context
     (both kernels count conflicts per call).  UNSAT cores come straight
     from the solver's final-conflict analysis.
+
+    The conflict-quality knobs thread straight through to both kernels:
+    ``lbd_tiers`` (glucose-style LBD-tiered learned-clause retention),
+    ``phase_saving`` (saved polarities with a target-phase reset on
+    restart) and ``minimize`` (recursive conflict-clause minimisation).
+    All three default on; turning one off reverts to the pre-heuristic
+    behaviour, which the differential fuzz suite exercises.
     """
 
     name = "cdcl"
@@ -123,12 +130,18 @@ class CdclBackend:
         default_phase: bool = False,
         restart_interval: int = 100,
         kernel: Optional[str] = None,
+        lbd_tiers: bool = True,
+        phase_saving: bool = True,
+        minimize: bool = True,
     ) -> None:
         self.kernel = resolve_sat_kernel(kernel)
         self._solver = _KERNEL_CLASSES[self.kernel](
             var_decay=var_decay,
             default_phase=default_phase,
             restart_interval=restart_interval,
+            lbd_tiers=lbd_tiers,
+            phase_saving=phase_saving,
+            minimize=minimize,
         )
 
     @property

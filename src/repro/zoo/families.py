@@ -410,15 +410,26 @@ class ForwardCorruptionFamily(MutationFamily):
     flow_kind = FLOW_SQED
     description = "forwarding fires wrongly: bad source or overreach"
 
-    # A priority-swap mode (write-back beats execute) was measured but
-    # excluded: its shortest counterexample needs three same-rd writers in
-    # flight and BMC past bound 9 on this model, which is outside the zoo's
-    # per-instance budget.  The static catalog keeps that mutation as
-    # multi_forward_priority_swapped.
-    _MODES = ("wrong_value", "ignore_write_enable")
+    # priority_swap (write-back beats execute when both match) needs three
+    # same-rd writers in flight: its shortest counterexample sits past
+    # bound 9, so the mode carries its own deeper per-mode default bound
+    # instead of the family-wide 8.  The mode is back in the registry —
+    # recipes build, replay and shrink like any other — but random
+    # campaign sampling sticks to the cheap modes: the bound-11 UNSAT
+    # prefix exhausts the oracle's default 200k-conflict BMC budget
+    # (degrading to ``inconclusive``, measured at ~11 CPU-minutes), and
+    # an unbudgeted run costs tens of CPU-minutes on the pure-Python
+    # kernels even with the LBD/minimisation/phase-saving heuristics.
+    # Deep modes are for explicit recipes with raised budgets, not
+    # blind sampling.
+    _MODES = ("wrong_value", "ignore_write_enable", "priority_swap")
+    #: Modes eligible for random campaign sampling (cheap ones only).
+    _SAMPLE_MODES = ("wrong_value", "ignore_write_enable")
+    #: Per-mode BMC bound overrides (modes absent here use the family default).
+    _MODE_BOUNDS = {"priority_swap": 11}
 
     def sample(self, rng: random.Random) -> dict:
-        return {"mode": rng.choice(self._MODES), "xlen": 4}
+        return {"mode": rng.choice(self._SAMPLE_MODES), "xlen": 4}
 
     def build(self, recipe: BugRecipe) -> ZooInstance:
         params = _params_dict(recipe)
@@ -438,6 +449,12 @@ class ForwardCorruptionFamily(MutationFamily):
             hooks = {"forward_ex_rs1": overreach}
             description = "forwarding triggers even from non-writing producers"
             pool = ("ADD", "SW")
+        elif mode == "priority_swap":
+            hooks = {"forward_priority": lambda cfg, ctx: T.bv_true()}
+            description = (
+                "when execute and write-back both match, the older "
+                "(write-back) value wins"
+            )
         else:
             raise ZooError(
                 f"forward_corruption: unknown mode {mode!r}; "
@@ -457,7 +474,7 @@ class ForwardCorruptionFamily(MutationFamily):
                 isa=_small_isa(xlen, num_regs=4), supported_ops=pool
             ),
             flow_kind=FLOW_SQED,
-            bound=int(params.get("bound", 8)),
+            bound=int(params.get("bound", self._MODE_BOUNDS.get(mode, 8))),
         )
 
     def shrink_candidates(self, params: Mapping) -> list[dict]:

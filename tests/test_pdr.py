@@ -225,6 +225,75 @@ class TestPdrLimits:
         assert check_invariant(ts, "consistent", result.invariant).valid
 
 
+class TestConflictQualityStack:
+    """CTG generalisation, F_inf pushing and subsumption semantics."""
+
+    def test_ctg_depth_zero_plain_mic_still_proves(self):
+        # The fallback path (the CI leg pins REPRO_PDR_CTG=0): plain MIC
+        # with no CTG blocking must keep proving and keep its invariants
+        # independently re-checkable.
+        for factory, prop, expected in [
+            (lambda: _counter("pdr_ctg0_c", 5), "bounded", True),
+            (lambda: _piped("pdr_ctg0_p"), "consistent", True),
+            (lambda: _piped("pdr_ctg0_b", buggy=True), "consistent", False),
+        ]:
+            ts = factory()
+            result = PdrEngine(ts, ctg_depth=0).prove(prop)
+            assert result.proven is expected
+            if expected:
+                assert check_invariant(ts, prop, result.invariant).valid
+            assert result.stats.ctgs_blocked == 0
+            assert result.stats.literals_dropped_ctg == 0
+
+    def test_ctg_depths_agree_and_certify(self):
+        for depth in (1, 2):
+            ts = _piped(f"pdr_ctgd{depth}")
+            result = PdrEngine(ts, ctg_depth=depth).prove("consistent")
+            assert result.proven is True
+            assert check_invariant(ts, "consistent", result.invariant).valid
+
+    def test_env_variable_sets_default_depth(self, monkeypatch):
+        from repro.pdr.engine import default_ctg_depth
+
+        monkeypatch.setenv("REPRO_PDR_CTG", "3")
+        assert PdrEngine(_counter("pdr_env", 5)).ctg_depth == 3
+        # An explicit argument always beats the environment.
+        assert PdrEngine(_counter("pdr_env2", 5), ctg_depth=0).ctg_depth == 0
+        monkeypatch.setenv("REPRO_PDR_CTG", "")
+        assert default_ctg_depth() == 1
+        monkeypatch.setenv("REPRO_PDR_CTG", "-1")
+        with pytest.raises(PdrError, match="REPRO_PDR_CTG"):
+            default_ctg_depth()
+        monkeypatch.setenv("REPRO_PDR_CTG", "many")
+        with pytest.raises(PdrError, match="REPRO_PDR_CTG"):
+            default_ctg_depth()
+
+    def test_negative_ctg_depth_rejected(self):
+        with pytest.raises(PdrError, match="ctg_depth"):
+            PdrEngine(_counter("pdr_negctg", 5), ctg_depth=-1)
+
+    def test_drop_attribution_sums_to_total(self):
+        result = PdrEngine(_piped("pdr_attrib")).prove("consistent")
+        assert result.proven is True
+        stats = result.stats
+        assert stats.literals_dropped == (
+            stats.literals_dropped_core
+            + stats.literals_dropped_mic
+            + stats.literals_dropped_ctg
+        )
+        # Generalisation must actually do something on this design.
+        assert stats.literals_dropped > 0
+
+    def test_inf_promoted_invariant_still_certifies(self):
+        # Designs whose clauses are frame-independently inductive exercise
+        # the F_inf promotion path; the invariant (which must include the
+        # F_inf clauses) still has to pass the independent re-check.
+        ts = _lockstep("pdr_inf")
+        result = PdrEngine(ts).prove("consistent")
+        assert result.proven is True
+        assert check_invariant(ts, "consistent", result.invariant).valid
+
+
 class TestPdrOnProcessorModel:
     """PDR on the real QED verification model of the scaled-down processor."""
 
@@ -255,10 +324,13 @@ class TestPdrOnProcessorModel:
         # arena SAT kernel, and that invariant must pass the independent
         # opt_level=0 re-check.  The scaled-down golden configuration
         # (single-op ISA, depth-1 QED fifo) is the largest one whose proof
-        # fits the tier-2 nightly budget: it converges at frame 8 with an
-        # invariant of ~900 clauses.  The full ADD+SUB model still walls at
-        # frame 4 — an algorithmic (CTG-generalisation) problem, not a
-        # kernel-speed one.
+        # fits the tier-2 nightly budget: with the conflict-quality stack
+        # it converges at frame 6 with a ~345-clause invariant (plain MIC
+        # used to need frame 8 and ~900 clauses).  The full ADD+SUB op set
+        # on the same depth-1 fifo — which plain MIC walled at frame 4 —
+        # now converges too, but only inside the nightly bench-pdr-full
+        # budget: it is covered by the committed BENCH_pdr.json convergence
+        # row rather than a second slow test here.
         isa = IsaConfig.small(xlen=4, num_regs=4)
         config = ProcessorConfig(isa=isa, supported_ops=("ADD",))
         flow = SqedFlow(config, fifo_depth=1)

@@ -398,6 +398,93 @@ class TestDifferentialFuzz:
         # re-query on the same instances must agree.
         assert reference.solve().satisfiable is arena.solve().satisfiable
 
+    #: Every combination of the conflict-quality knobs (LBD-tiered
+    #: retention, phase saving, recursive minimisation).
+    KNOB_MATRIX = [
+        (lbd, phase, minim)
+        for lbd in (False, True)
+        for phase in (False, True)
+        for minim in (False, True)
+    ]
+
+    @pytest.mark.parametrize(
+        "lbd_tiers,phase_saving,minimize",
+        KNOB_MATRIX,
+        ids=lambda v: "on" if v is True else ("off" if v is False else str(v)),
+    )
+    def test_conflict_quality_knobs_agree_with_reference(
+        self, lbd_tiers, phase_saving, minimize
+    ):
+        # The conflict-quality heuristics change *which* clauses are kept,
+        # *how* they are shrunk and *where* the search branches — but never
+        # a verdict, a model's validity, or a core's validity.  Every knob
+        # combination, on both kernels, is cross-validated against the
+        # all-knobs-off reference kernel on incremental assumption
+        # workloads.
+        knobs = dict(
+            lbd_tiers=lbd_tiers, phase_saving=phase_saving, minimize=minimize
+        )
+        for seed in range(4):
+            rng = random.Random(0xC0DE + seed)
+            num_vars = rng.randint(5, 12)
+            baseline = SatSolver(
+                lbd_tiers=False, phase_saving=False, minimize=False
+            )
+            knobbed = [SatSolver(**knobs), ArenaSolver(**knobs)]
+            for solver in (baseline, *knobbed):
+                solver.reserve(num_vars)
+            clauses: list[list[int]] = []
+            root_unsat = False
+            for _ in range(3):
+                if root_unsat:
+                    break
+                for clause in _random_cnf(rng, num_vars, rng.randint(3, 12)):
+                    clauses.append(clause)
+                    for solver in (baseline, *knobbed):
+                        solver.add_clause(clause)
+                assumptions = [
+                    v if rng.random() < 0.5 else -v
+                    for v in range(1, num_vars + 1)
+                    if rng.random() < 0.4
+                ]
+                expected = baseline.solve(assumptions=assumptions)
+                for solver in knobbed:
+                    got = solver.solve(assumptions=assumptions)
+                    assert got.satisfiable is expected.satisfiable, (
+                        f"verdict divergence under knobs {knobs} (seed "
+                        f"{seed}): {got.satisfiable} vs {expected.satisfiable}"
+                    )
+                    if got.satisfiable:
+                        assert _model_satisfies(got, clauses)
+                        for lit in assumptions:
+                            assert got.value(abs(lit)) is (lit > 0)
+                    elif got.satisfiable is False:
+                        assert got.core is not None
+                        assert set(got.core) <= set(assumptions)
+                        # The knobbed core must hold on the baseline too.
+                        assert baseline.solve(assumptions=got.core).satisfiable is False
+                        if not got.core:
+                            root_unsat = True
+
+    @pytestmark_kernels
+    def test_conflict_quality_stats_accumulate(self, solver_cls):
+        # A search hard enough to learn clauses must book LBD mass, and —
+        # with the knobs on — minimised literals; with them off the new
+        # counters stay untouched so A/B campaign reports are attributable.
+        clauses = _pigeonhole_clauses(5, 4)
+        on = solver_cls()
+        for clause in clauses:
+            on.add_clause(clause)
+        assert on.solve().satisfiable is False
+        assert on.stats.lbd_sum > 0
+        assert on.stats.minimized_literals >= 0
+        off = solver_cls(lbd_tiers=False, phase_saving=False, minimize=False)
+        for clause in clauses:
+            off.add_clause(clause)
+        assert off.solve().satisfiable is False
+        assert off.stats.minimized_literals == 0
+        assert off.stats.saved_phase_hits == 0
+
     @pytest.mark.parametrize("pigeons,holes", [(4, 3), (5, 4)])
     def test_pigeonhole_unsat_and_latching_agree(self, pigeons, holes):
         clauses = _pigeonhole_clauses(pigeons, holes)
@@ -507,6 +594,23 @@ class TestSanitizers:
         with pytest.raises(SanitizerError, match=r"\[model\]"):
             solver.solve(assumptions=[1, 2])
 
+    def test_reference_learned_corruption_fires(self):
+        # A minimisation bug that drops a load-bearing literal would leave
+        # the "learned" clause satisfiable under the conflicting assignment
+        # — the post-analysis check must catch exactly that shape.
+        from repro.errors import SanitizerError
+        from repro.sat.sanitize import check_reference_learned
+
+        solver = SatSolver(CNF([[1, 2]], num_vars=2), sanitize=True)
+        solver._assign[1] = 1  # var 1 true: a clause holding +1 is satisfied
+        solver._level[1] = 0
+        with pytest.raises(SanitizerError, match=r"\[learned\]"):
+            check_reference_learned(solver, [1, -2])
+        solver._assign[1] = -1
+        solver._assign[2] = 0  # unassigned literal in a "learned" clause
+        with pytest.raises(SanitizerError, match=r"\[learned\]"):
+            check_reference_learned(solver, [1, -2])
+
     def test_reference_trail_corruption_fires(self):
         from repro.errors import SanitizerError
         from repro.sat.sanitize import check_reference_trail
@@ -561,6 +665,17 @@ class TestSanitizers:
         solver._values[4], solver._values[5] = -1, 1
         with pytest.raises(SanitizerError, match=r"\[model\]"):
             check_arena_model(solver)
+
+    def test_arena_learned_corruption_fires(self):
+        from repro.errors import SanitizerError
+        from repro.sat.sanitize import check_arena_learned
+
+        solver = ArenaSolver(CNF([[1, 2]], num_vars=2), sanitize=True)
+        # Encoded literal 2 (= +var1) true: the clause is not conflicting.
+        solver._values[2], solver._values[3] = 1, -1
+        solver._level[1] = 0
+        with pytest.raises(SanitizerError, match=r"\[learned\]"):
+            check_arena_learned(solver, [2, 5])
 
     def test_arena_trail_corruption_fires(self):
         from repro.errors import SanitizerError

@@ -134,6 +134,64 @@ class TestRecipes:
 
 
 # ---------------------------------------------------------------------------
+# Deep-mode registry re-entry (forward_corruption/priority_swap)
+# ---------------------------------------------------------------------------
+
+
+class TestDeepModeRegistry:
+    """``forward_corruption/priority_swap`` is back in the registry.
+
+    PR 7 excluded the mode (shortest counterexample past bound 9);
+    per-mode bound overrides let recipes build, replay and shrink again.
+    Random campaign sampling must still stick to the cheap modes: one
+    bound-11 oracle evaluation of this model costs tens of CPU-minutes
+    on the pure-Python kernels, which would dominate any campaign or
+    tier-1 budget.
+    """
+
+    @staticmethod
+    def _deep_recipe(**extra) -> BugRecipe:
+        return BugRecipe(
+            family="forward_corruption",
+            params=tuple(sorted({"mode": "priority_swap", "xlen": 4, **extra}.items())),
+            seed=0,
+        )
+
+    def test_priority_swap_builds_with_deep_bound(self):
+        inst = instantiate(self._deep_recipe())
+        assert inst.bound == 11
+        assert inst.bug.kind is BugKind.MULTIPLE_INSTRUCTION
+        assert "write-back" in inst.bug.description
+        assert inst.bug.recipe == self._deep_recipe()
+
+    def test_explicit_bound_param_beats_the_mode_override(self):
+        assert instantiate(self._deep_recipe(bound=12)).bound == 12
+
+    def test_cheap_modes_keep_the_family_default_bound(self):
+        recipe = BugRecipe(
+            family="forward_corruption",
+            params=(("mode", "wrong_value"), ("xlen", 4)),
+            seed=0,
+        )
+        assert instantiate(recipe).bound == 8
+
+    def test_random_sampling_never_draws_the_deep_mode(self):
+        family = get_family("forward_corruption")
+        drawn = {
+            dict(sample_recipe("forward_corruption", seed=s).params)["mode"]
+            for s in range(64)
+        }
+        assert "priority_swap" not in drawn
+        assert drawn == set(family._SAMPLE_MODES)
+        assert "priority_swap" in family._MODES
+
+    def test_deep_mode_shrinks_toward_the_cheap_mode(self):
+        family = get_family("forward_corruption")
+        candidates = family.shrink_candidates(dict(self._deep_recipe().params))
+        assert any(c["mode"] == "wrong_value" for c in candidates)
+
+
+# ---------------------------------------------------------------------------
 # Bug-catalog hardening (static catalog satellites)
 # ---------------------------------------------------------------------------
 
