@@ -1,0 +1,7 @@
+"""Entry point for ``python -m repro.absint``."""
+
+import sys
+
+from repro.absint.cli import main
+
+sys.exit(main())

@@ -1,0 +1,198 @@
+"""Command-line front end: ``python -m repro.absint``.
+
+Targets, combinable in one invocation (mirroring ``python -m repro.lint``):
+
+* positional paths — ``.btor2`` files, parsed and analyzed;
+* ``--design NAME`` (repeatable, or ``all``) — entries of the built-in
+  design gallery (the PDR designs, clean and buggy variants);
+* ``--zoo-sample N`` — N generated bug-zoo instances (seeded, reproducible
+  via ``--zoo-seed``), each built and analyzed;
+* ``--validate N`` — additionally cross-check every fact against N random
+  concrete simulation runs (exit 2 on a soundness violation).
+
+Exit status: 0 on success, 2 on usage/parse/soundness errors.
+
+Examples::
+
+    python -m repro.absint sepe_sqed_model.btor2
+    python -m repro.absint --design all --json
+    python -m repro.absint --zoo-sample 20 --zoo-seed 7 --validate 25
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Optional
+
+from repro.absint.facts import latch_facts, validate_by_simulation
+from repro.absint.fixpoint import Analysis, analyze
+from repro.errors import ReproError
+from repro.ts.system import TransitionSystem
+
+
+def _parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.absint",
+        description="Abstract-interpretation reachability analysis over "
+        "transition systems.",
+    )
+    parser.add_argument(
+        "targets",
+        nargs="*",
+        help="BTOR2 files to parse and analyze",
+    )
+    parser.add_argument(
+        "--design",
+        action="append",
+        default=[],
+        metavar="NAME",
+        help="analyze a built-in design ('all' for the whole gallery; "
+        "repeatable)",
+    )
+    parser.add_argument(
+        "--zoo-sample",
+        type=int,
+        default=0,
+        metavar="N",
+        help="analyze N generated bug-zoo instances",
+    )
+    parser.add_argument(
+        "--zoo-seed",
+        type=int,
+        default=0,
+        metavar="S",
+        help="base seed for --zoo-sample (default 0)",
+    )
+    parser.add_argument(
+        "--validate",
+        type=int,
+        default=0,
+        metavar="N",
+        help="cross-check facts against N random simulation runs per "
+        "target (soundness oracle)",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        dest="as_json",
+        help="emit a JSON report instead of text",
+    )
+    return parser
+
+
+def _target_summary(
+    ts: TransitionSystem, analysis: Analysis, validated_checks: Optional[int]
+) -> dict:
+    summary = {
+        "latches": len(ts.states),
+        "facts": analysis.fact_count(),
+        "known_bits": analysis.known_bit_count(),
+        "state_bits": ts.num_state_bits(),
+        "seq_const_latches": sorted(analysis.seq_const),
+        "iterations": analysis.iterations,
+        "widenings": analysis.widenings,
+        "values": {
+            fact.name: fact.value.describe()
+            for fact in latch_facts(ts, analysis)
+        },
+        "properties": {
+            name: value.describe()
+            for name, value in analysis.properties.items()
+        },
+    }
+    if validated_checks is not None:
+        summary["simulation_checks"] = validated_checks
+    return summary
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    args = _parser().parse_args(argv)
+    from repro.lint.cli import _gallery, _zoo_targets
+
+    gallery = _gallery()
+    try:
+        targets: list[tuple[str, TransitionSystem]] = []
+        for path_text in args.targets:
+            path = Path(path_text)
+            from repro.btor.parser import parse_btor2
+            from repro.qed.module import reserve_model_prefixes
+
+            ts = parse_btor2(path.read_text(), name=path.stem)
+            reserve_model_prefixes(
+                [s.name for s in ts.states] + [i.name for i in ts.inputs]
+            )
+            targets.append((path_text, ts))
+        design_names = list(args.design)
+        if "all" in design_names:
+            design_names = sorted(gallery)
+        for name in design_names:
+            if name not in gallery:
+                print(
+                    f"unknown design {name!r}; available: "
+                    + ", ".join(sorted(gallery)),
+                    file=sys.stderr,
+                )
+                return 2
+            targets.append((f"design:{name}", gallery[name]()))
+        if args.zoo_sample:
+            targets.extend(_zoo_targets(args.zoo_sample, args.zoo_seed))
+
+        if not targets:
+            print(
+                "nothing to analyze (pass files, --design or --zoo-sample)",
+                file=sys.stderr,
+            )
+            return 2
+
+        results: list[tuple[str, TransitionSystem, Analysis, Optional[int]]] = []
+        for name, ts in targets:
+            analysis = analyze(ts)
+            checks: Optional[int] = None
+            if args.validate:
+                checks = validate_by_simulation(ts, analysis, runs=args.validate)
+            results.append((name, ts, analysis, checks))
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.as_json:
+        payload = {
+            "targets": {
+                name: _target_summary(ts, analysis, checks)
+                for name, ts, analysis, checks in results
+            },
+            "total_facts": sum(a.fact_count() for _, _, a, _ in results),
+            "total_known_bits": sum(
+                a.known_bit_count() for _, _, a, _ in results
+            ),
+        }
+        print(json.dumps(payload, indent=2))
+    else:
+        total_facts = 0
+        for name, ts, analysis, checks in results:
+            facts = latch_facts(ts, analysis)
+            total_facts += len(facts)
+            if facts:
+                print(f"== {name}: {len(facts)} fact(s)")
+                for fact in facts:
+                    print(f"   {fact.describe()}")
+            else:
+                print(f"== {name}: no facts")
+            for pname, value in analysis.properties.items():
+                if value.is_const:
+                    verdict = "holds" if value.const_value() == 1 else "fails"
+                    print(f"   property {pname}: abstractly {verdict}")
+            if checks is not None:
+                print(f"   simulation: {checks} containment checks passed")
+        print(f"-- {len(results)} target(s): {total_facts} fact(s)")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,298 @@
+"""Abstract values over bit-vectors: the reduced product of three domains.
+
+An :class:`AbstractValue` over-approximates the set of concrete values a
+``width``-bit quantity can take, tracking three cooperating components:
+
+* **ternary / known bits** — per bit: ⊤ (unknown), 0 or 1, encoded as a
+  mask of known bit positions (``known``) plus their values (``bits``);
+* **constancy** — the value is one concrete constant (exactly the case
+  ``known == mask(width)``; :meth:`is_const` / :meth:`const_value` expose
+  it, and the fixpoint engine's greatest-fixpoint constancy pass feeds it);
+* **intervals** — an unsigned range ``[lo, hi]`` (never wrapping), widened
+  by the fixpoint engine for counter-like latches.
+
+The components are kept mutually *reduced* by the :func:`make` factory:
+the interval is tightened to the nearest values consistent with the known
+bits, the bits shared by every value in ``[lo, hi]`` (their common leading
+bits) become known, and a contradiction between the components collapses
+to ``BOTTOM`` (no value at all).  Every operation below returns reduced
+values, so the three views can be read independently at any time.
+
+Values are immutable; equality is componentwise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import AbsintError
+from repro.utils.bitops import mask
+
+
+@dataclass(frozen=True)
+class AbstractValue:
+    """A reduced known-bits × constancy × interval abstraction.
+
+    Build values through :func:`make`, :func:`top`, :func:`const`,
+    :func:`from_bits` or :func:`from_interval` — the raw constructor does
+    not reduce and is reserved for the factories.
+    """
+
+    width: int
+    #: Mask of bit positions whose value is known.
+    known: int
+    #: The known bits' values (always 0 at unknown positions).
+    bits: int
+    #: Unsigned interval bounds, ``lo <= hi`` (``lo > hi`` encodes bottom).
+    lo: int
+    hi: int
+
+    # ------------------------------------------------------------- predicates
+
+    @property
+    def is_bottom(self) -> bool:
+        """No concrete value is represented (contradictory components)."""
+        return self.lo > self.hi
+
+    @property
+    def is_const(self) -> bool:
+        """Exactly one concrete value is represented."""
+        return not self.is_bottom and self.known == mask(self.width)
+
+    def const_value(self) -> int:
+        if not self.is_const:
+            raise AbsintError("abstract value is not a constant")
+        return self.bits
+
+    @property
+    def is_top(self) -> bool:
+        return self.known == 0 and self.lo == 0 and self.hi == mask(self.width)
+
+    def contains(self, value: int) -> bool:
+        """Is the concrete ``value`` inside this abstraction?"""
+        value &= mask(self.width)
+        if self.is_bottom:
+            return False
+        if (value & self.known) != self.bits:
+            return False
+        return self.lo <= value <= self.hi
+
+    @property
+    def unknown_count(self) -> int:
+        """Number of bits whose value is not known."""
+        return self.width - bin(self.known).count("1")
+
+    def describe(self) -> str:
+        """A compact human-readable rendering (for lint messages and CLIs)."""
+        if self.is_bottom:
+            return "bottom"
+        if self.is_const:
+            return f"const {self.bits:#x}"
+        parts = []
+        if self.known:
+            ternary = "".join(
+                (str((self.bits >> i) & 1) if (self.known >> i) & 1 else "x")
+                for i in reversed(range(self.width))
+            )
+            parts.append(f"bits {ternary}")
+        if self.lo != 0 or self.hi != mask(self.width):
+            parts.append(f"[{self.lo}, {self.hi}]")
+        return " ".join(parts) if parts else "top"
+
+
+# ---------------------------------------------------------------------------
+# reduction helpers
+# ---------------------------------------------------------------------------
+
+
+def _min_consistent_ge(lo: int, known: int, bits: int, width: int):
+    """Smallest ``x >= lo`` with ``x & known == bits``, or ``None``.
+
+    If ``lo`` itself is consistent it is the answer.  Otherwise every
+    candidate ``x > lo`` agrees with ``lo`` above some highest differing
+    bit ``j`` where ``x`` has 1 and ``lo`` has 0; minimising the bits
+    below ``j`` (free bits to 0) gives the best candidate per ``j``.
+    """
+    if (lo & known) == bits:
+        return lo
+    best = None
+    for j in range(width):
+        if (lo >> j) & 1:
+            continue
+        if (known >> j) & 1 and not (bits >> j) & 1:
+            continue  # the pattern forces bit j to 0, cannot raise it
+        prefix = ~mask(j + 1) & mask(width)
+        if (lo & known & prefix) != (bits & prefix):
+            continue  # lo's prefix already violates the pattern
+        x = (lo & prefix) | (1 << j) | (bits & mask(j))
+        if best is None or x < best:
+            best = x
+    return best
+
+
+def _max_consistent_le(hi: int, known: int, bits: int, width: int):
+    """Largest ``x <= hi`` with ``x & known == bits``, or ``None``.
+
+    Mirror image of :func:`_min_consistent_ge`: below the highest
+    differing bit (``x`` 0, ``hi`` 1) every free bit saturates to 1.
+    """
+    if (hi & known) == bits:
+        return hi
+    best = None
+    for j in range(width):
+        if not (hi >> j) & 1:
+            continue
+        if (known >> j) & 1 and (bits >> j) & 1:
+            continue  # the pattern forces bit j to 1, cannot clear it
+        prefix = ~mask(j + 1) & mask(width)
+        if (hi & known & prefix) != (bits & prefix):
+            continue
+        x = (hi & prefix) | (bits & mask(j)) | (mask(j) & ~known)
+        if best is None or x > best:
+            best = x
+    return best
+
+
+def make(width: int, known: int, bits: int, lo: int, hi: int) -> AbstractValue:
+    """The reduced abstract value for the given raw components.
+
+    Applies the reduced-product exchange until fixpoint (two passes
+    suffice: interval→bits only ever *adds* known bits, and bits→interval
+    only ever tightens bounds consistent with them):
+
+    * clamp everything into ``width`` bits and normalise ``bits``;
+    * tighten ``[lo, hi]`` to the nearest values consistent with the known
+      bits (none left → bottom);
+    * make the common leading bits of ``lo`` and ``hi`` known;
+    * re-tighten the interval against the enlarged known set.
+    """
+    m = mask(width)
+    bits &= known & m
+    known &= m
+    lo = max(0, lo)
+    hi = min(hi, m)
+    if lo > hi:
+        return bottom(width)
+
+    for _ in range(2):
+        new_lo = _min_consistent_ge(lo, known, bits, width)
+        new_hi = _max_consistent_le(hi, known, bits, width)
+        if new_lo is None or new_hi is None or new_lo > new_hi:
+            return bottom(width)
+        lo, hi = new_lo, new_hi
+        # Bits shared by every value in [lo, hi]: the common leading bits.
+        diff = lo ^ hi
+        if diff == 0:
+            known, bits = m, lo
+            break
+        high_known = (m >> diff.bit_length()) << diff.bit_length()
+        add = high_known & ~known
+        if not add:
+            break
+        known |= add
+        bits |= lo & add
+    return AbstractValue(width=width, known=known, bits=bits, lo=lo, hi=hi)
+
+
+# ---------------------------------------------------------------------------
+# factories
+# ---------------------------------------------------------------------------
+
+
+def top(width: int) -> AbstractValue:
+    return AbstractValue(width=width, known=0, bits=0, lo=0, hi=mask(width))
+
+
+def bottom(width: int) -> AbstractValue:
+    return AbstractValue(width=width, known=mask(width), bits=0, lo=1, hi=0)
+
+
+def const(width: int, value: int) -> AbstractValue:
+    value &= mask(width)
+    return AbstractValue(
+        width=width, known=mask(width), bits=value, lo=value, hi=value
+    )
+
+
+def from_bits(width: int, known: int, bits: int) -> AbstractValue:
+    return make(width, known, bits, 0, mask(width))
+
+
+def from_interval(width: int, lo: int, hi: int) -> AbstractValue:
+    return make(width, 0, 0, lo, hi)
+
+
+# ---------------------------------------------------------------------------
+# lattice operations
+# ---------------------------------------------------------------------------
+
+
+def join(a: AbstractValue, b: AbstractValue) -> AbstractValue:
+    """Least upper bound: every value of either side is represented."""
+    if a.width != b.width:
+        raise AbsintError(f"join width mismatch: {a.width} vs {b.width}")
+    if a.is_bottom:
+        return b
+    if b.is_bottom:
+        return a
+    known = a.known & b.known & ~(a.bits ^ b.bits)
+    return make(
+        a.width,
+        known,
+        a.bits & known,
+        min(a.lo, b.lo),
+        max(a.hi, b.hi),
+    )
+
+
+def meet(a: AbstractValue, b: AbstractValue) -> AbstractValue:
+    """Greatest lower bound: only values both sides represent.
+
+    Used for branch-condition refinement (``assume``), never for joining
+    flow — a contradictory meet legitimately yields bottom.
+    """
+    if a.width != b.width:
+        raise AbsintError(f"meet width mismatch: {a.width} vs {b.width}")
+    if a.is_bottom or b.is_bottom:
+        return bottom(a.width)
+    common = a.known & b.known
+    if (a.bits & common) != (b.bits & common):
+        return bottom(a.width)
+    return make(
+        a.width,
+        a.known | b.known,
+        a.bits | b.bits,
+        max(a.lo, b.lo),
+        min(a.hi, b.hi),
+    )
+
+
+def widen(old: AbstractValue, new: AbstractValue) -> AbstractValue:
+    """Standard interval widening; the finite-height components pass through.
+
+    ``new`` must already include ``old`` (callers join first).  An unstable
+    bound jumps straight to its extreme, so a counter-like latch converges
+    after one widening step instead of one step per reachable value.  The
+    known-bits component needs no widening — it can only lose bits under
+    join, at most ``width`` times.
+    """
+    if old.is_bottom:
+        return new
+    lo = new.lo if new.lo >= old.lo else 0
+    hi = new.hi if new.hi <= old.hi else mask(new.width)
+    return make(new.width, new.known, new.bits, lo, hi)
+
+
+def subsumes(a: AbstractValue, b: AbstractValue) -> bool:
+    """Does ``a`` represent every value that ``b`` does (``b ⊑ a``)?"""
+    if a.width != b.width:
+        raise AbsintError(f"subsumes width mismatch: {a.width} vs {b.width}")
+    if b.is_bottom:
+        return True
+    if a.is_bottom:
+        return False
+    if (a.known & ~b.known) != 0:
+        return False
+    if (b.bits & a.known) != a.bits:
+        return False
+    return a.lo <= b.lo and b.hi <= a.hi

@@ -29,7 +29,7 @@ from repro.smt.evaluator import evaluate, free_variables
 from repro.solve.backend import is_default_backend
 from repro.solve.context import SolverContext
 from repro.solve.pipeline import EncodingStats, PipelineConfig
-from repro.ts.coi import CoiReduction, reduce_to_property_cone
+from repro.ts.coi import CoiReduction, cached_property_cone
 from repro.ts.system import TransitionSystem
 from repro.ts.unroll import Unroller
 from repro.bmc.trace import Trace, TraceStep
@@ -116,10 +116,35 @@ def prepare_property_system(
     """
     if not pipeline.coi:
         return ts, None
-    reduction = reduce_to_property_cone(ts, property_name)
+    reduction = cached_property_cone(ts, property_name)
     if not reduction.reduced:
         return ts, None
     return reduction.ts, reduction
+
+
+def prepare_absint_fold(ts: TransitionSystem, pipeline: PipelineConfig):
+    """The abstract-interpretation fold of ``ts``, or ``None``.
+
+    Folds proven-constant latches/bits out of the (already COI-reduced)
+    system before unrolling.  Returns ``None`` when the layer is disabled,
+    nothing folds, or a constraint would fold to constant false — that
+    last case means the constraints are unsatisfiable on the abstract
+    reachable set, and the unfolded path must keep reporting it through
+    its own semantics (``load_frame_constraints``) rather than ours.
+    Shared by the incremental session and the sharded workers so the two
+    paths cannot drift.
+    """
+    if not pipeline.use_absint:
+        return None
+    from repro.absint import analyze, fold_system
+
+    fold = fold_system(ts, analyze(ts))
+    if fold is None:
+        return None
+    for constraint in fold.ts.constraints:
+        if constraint.is_const and constraint.const_value() == 0:
+            return None
+    return fold
 
 
 def build_trace(
@@ -129,13 +154,17 @@ def build_trace(
     model: dict[str, int],
     last_frame: int,
     reduction: Optional[CoiReduction] = None,
+    fold=None,
 ) -> Trace:
     """Concretise a full bit-blasted model into a counterexample trace.
 
     ``ts`` is the *original* system; when ``reduction`` is given, the
     unroller only covers the cone, and the dropped signals are reconstructed
     by forward simulation (dropped inputs read 0 — they are unconstrained,
-    so any value yields a consistent run).
+    so any value yields a consistent run).  When ``fold`` (an
+    :class:`~repro.absint.AbsintFold`) is given, the unroller covers the
+    folded system and each original latch is read back through its
+    assembly term, so traces are reported in original coordinates.
     """
 
     def value_of(term: T.BV) -> int:
@@ -150,6 +179,11 @@ def build_trace(
         dropped_states = set(reduction.dropped_states)
         dropped_inputs = set(reduction.dropped_inputs)
 
+    def kept_state_term(name: str, frame: int) -> T.BV:
+        if fold is not None:
+            return unroller.at_frame(fold.state_terms[name], frame)
+        return unroller.state_term(name, frame)
+
     trace = Trace(property_name=property_name)
     previous: Optional[dict[str, int]] = None
     for frame in range(0, last_frame + 1):
@@ -157,7 +191,7 @@ def build_trace(
         for state in ts.states:
             if state.name not in dropped_states:
                 step.states[state.name] = value_of(
-                    unroller.state_term(state.name, frame)
+                    kept_state_term(state.name, frame)
                 )
         for symbol in ts.inputs:
             assert symbol.name is not None
@@ -229,6 +263,13 @@ class BmcSession:
         reduced_ts, self.reduction = prepare_property_system(
             ts, property_name, self.pipeline
         )
+        # Abstract-interpretation fold: drop proven-constant latches and
+        # narrow partially-known ones before unrolling.  Facts are
+        # invariants, so verdicts and counterexample frames are unchanged
+        # (the differential REPRO_ABSINT=0-vs-1 suite gates on this).
+        self.fold = prepare_absint_fold(reduced_ts, self.pipeline)
+        if self.fold is not None:
+            reduced_ts = self.fold.ts
         self.unroller = Unroller(reduced_ts)
         self.context = (
             context
@@ -290,6 +331,9 @@ class BmcSession:
             stats.coi_state_bits_dropped = self.reduction.dropped_state_bits
         else:
             stats.coi_states_kept = len(self.ts.states)
+        if self.fold is not None:
+            stats.absint_states_folded = self.fold.states_folded
+            stats.absint_bits_folded = self.fold.bits_folded
         return stats
 
     # --------------------------------------------------------------- checking
@@ -375,6 +419,7 @@ class BmcSession:
             model,
             last_frame,
             reduction=self.reduction,
+            fold=self.fold,
         )
 
 

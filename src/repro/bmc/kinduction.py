@@ -111,6 +111,19 @@ class KInductionEngine:
         for constraint in step_ts.constraints:
             step_ctx.add(substitute(constraint, frames[0]))
 
+        # Abstract-interpretation strengthening: the fixpoint facts form an
+        # inductive invariant that holds initially, so conjoining them to
+        # every symbolic step frame only discards unreachable states.  That
+        # can turn a ``None`` (not k-inductive) into a proof, never flip a
+        # verdict — the base case alone decides ``False``.
+        strengthening: list = []
+        if self.pipeline.use_absint:
+            from repro.absint import analyze, strengthening_terms
+
+            strengthening = strengthening_terms(step_ts, analyze(step_ts))
+            for fact in strengthening:
+                step_ctx.add(substitute(fact, frames[0]))
+
         base: Optional[BmcResult] = None
 
         for k in range(1, max_k + 1):
@@ -142,6 +155,8 @@ class KInductionEngine:
             self._extend_frames(step_ts, frames)
             for constraint in step_ts.constraints:
                 step_ctx.add(substitute(constraint, frames[k]))
+            for fact in strengthening:
+                step_ctx.add(substitute(fact, frames[k]))
             step_ctx.add(substitute(prop, frames[k - 1]))
             result = step_ctx.check(
                 assumptions=[T.bv_not(substitute(prop, frames[k]))],

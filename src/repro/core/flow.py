@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import dataclasses
 import time
 from typing import Iterable, Mapping, Optional
 
@@ -10,6 +11,7 @@ from repro.bmc.kinduction import KInductionEngine
 from repro.core.results import ProofOutcome, VerificationOutcome
 from repro.errors import VerificationError
 from repro.pdr.engine import PdrEngine
+from repro.solve.pipeline import PipelineConfig
 from repro.isa.instructions import get_instruction
 from repro.proc.bugs import Bug
 from repro.proc.config import ProcessorConfig
@@ -79,6 +81,7 @@ class _BaseFlow:
         jobs: int = 1,
         opt_level: Optional[int] = None,
         lint: Optional[str] = None,
+        absint: Optional[bool] = None,
     ):
         self.config = config
         self.fifo_depth = fifo_depth
@@ -89,6 +92,16 @@ class _BaseFlow:
         #: Pre-solve lint gate mode ("error"/"warn"/"off"); ``None`` defers
         #: to ``$REPRO_LINT_GATE`` (default off).
         self.lint = lint
+        #: Abstract-interpretation knob (fold/strengthen/seed); ``None``
+        #: defers to ``$REPRO_ABSINT`` (default on at opt_level >= 1).
+        self.absint = absint
+
+    def _opt(self) -> PipelineConfig:
+        """The engines' pipeline config: opt_level plus the absint override."""
+        cfg = PipelineConfig.resolve(self.opt_level)
+        if self.absint is not None and self.absint != cfg.absint:
+            cfg = dataclasses.replace(cfg, absint=self.absint)
+        return cfg
 
     def build_model(self, bug: Optional[Bug] = None) -> QedVerificationModel:
         raise NotImplementedError
@@ -122,7 +135,7 @@ class _BaseFlow:
         if effective_jobs == 1:
             # lint="off": the gate above already covered this exact system.
             engine = BmcEngine(
-                model.ts, backend=self.backend, opt_level=self.opt_level, lint="off"
+                model.ts, backend=self.backend, opt_level=self._opt(), lint="off"
             )
             result = engine.check(
                 model.property_name, bound=bound, conflict_budget=conflict_budget
@@ -137,7 +150,7 @@ class _BaseFlow:
                 jobs=effective_jobs,
                 backend=self.backend,
                 conflict_budget=conflict_budget,
-                opt_level=self.opt_level,
+                opt_level=self._opt(),
             )
         elapsed = time.perf_counter() - start
         detected: Optional[bool]
@@ -196,7 +209,7 @@ class _BaseFlow:
             pdr = PdrEngine(
                 model.ts,
                 backend=self.backend,
-                opt_level=self.opt_level,
+                opt_level=self._opt(),
                 max_frames=max_frames,
             ).prove(
                 model.property_name,
@@ -214,7 +227,7 @@ class _BaseFlow:
                 model=model,
             )
         kind = KInductionEngine(
-            model.ts, backend=self.backend, opt_level=self.opt_level
+            model.ts, backend=self.backend, opt_level=self._opt()
         ).prove(model.property_name, max_k=max_k, conflict_budget=conflict_budget)
         return ProofOutcome(
             method=self.method,
@@ -286,6 +299,7 @@ class SepeSqedFlow(_BaseFlow):
         jobs: int = 1,
         opt_level: Optional[int] = None,
         lint: Optional[str] = None,
+        absint: Optional[bool] = None,
     ):
         super().__init__(
             config,
@@ -295,6 +309,7 @@ class SepeSqedFlow(_BaseFlow):
             jobs=jobs,
             opt_level=opt_level,
             lint=lint,
+            absint=absint,
         )
         self.num_temps = num_temps
         if equivalents is None:

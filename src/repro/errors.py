@@ -74,6 +74,10 @@ class LintError(ReproError):
     """Static analysis failure: a lint gate rejected a model, or lint misuse."""
 
 
+class AbsintError(ReproError):
+    """Abstract-interpretation misuse or a diverging fixpoint iteration."""
+
+
 class SanitizerError(ReproError):
     """A kernel sanitizer (``REPRO_SANITIZE=1``) found a violated invariant.
 

@@ -22,9 +22,22 @@ Rules (dotted ids, severity in brackets):
 * ``model.latch-no-init`` [warning] — a latch with no init term: its reset
   value is free, which is usually an unintended verification hole.
 * ``model.dead-latch`` [warning] — a latch outside the cone of influence
-  of every property (computed with :func:`repro.ts.coi.reduce_to_property_cone`).
+  of every property (computed with :func:`repro.ts.coi.cached_property_cone`,
+  so repeated lint/BMC runs over one design share the cones).
 * ``model.seq-const-latch`` [warning] — a latch provably stuck at its
-  (constant) initial value in every reachable state.
+  (constant) initial value in every reachable state.  Backed by the
+  :mod:`repro.absint` reachability fixpoint, whose constancy pass subsumes
+  the original syntactic substitution algorithm (kept as the fallback when
+  the fixpoint fails to converge).
+* ``model.bit-stuck-latch`` [info] — a latch that is not fully constant
+  but has individual bits proven stuck in every reachable state.
+* ``model.interval-overflow-impossible`` [info] — add/sub/mul nodes in
+  next-state or property logic whose abstract operand intervals prove the
+  result can never wrap at its width (only non-trivial facts are reported:
+  the proof must fail for unconstrained operands).
+* ``model.unreachable-property-violation`` [info] — a property the
+  abstract reachable-state over-approximation already proves (no reachable
+  state can violate it), without the property being syntactically constant.
 * ``model.const-property`` [error if false, warning if true] — a property
   that constant-folded during construction.
 * ``model.const-constraint`` [error if false, info if true] — a constraint
@@ -36,6 +49,11 @@ Rules (dotted ids, severity in brackets):
 
 from __future__ import annotations
 
+from repro.absint import analyze
+from repro.absint import domains as D
+from repro.absint.fixpoint import Analysis
+from repro.absint.transfer import abstract_eval
+from repro.errors import AbsintError
 from repro.smt.evaluator import free_variables, substitute
 from repro.smt import terms as T
 from repro.smt.terms import BV
@@ -45,8 +63,9 @@ from repro.lint.findings import (
     SEV_WARNING,
     LintReport,
 )
-from repro.ts.coi import reduce_to_property_cone
+from repro.ts.coi import cached_property_cone
 from repro.ts.system import TransitionSystem
+from repro.utils.bitops import mask
 
 
 def lint_transition_system(ts: TransitionSystem) -> LintReport:
@@ -238,7 +257,7 @@ def lint_transition_system(ts: TransitionSystem) -> LintReport:
     if not structurally_broken and ts.properties:
         live: set[str] = set()
         for prop_name in ts.properties:
-            live.update(reduce_to_property_cone(ts, prop_name).kept_states)
+            live.update(cached_property_cone(ts, prop_name).kept_states)
         for state in ts.states:
             if state.name not in live:
                 report.add(
@@ -250,17 +269,76 @@ def lint_transition_system(ts: TransitionSystem) -> LintReport:
                 )
 
     if not structurally_broken:
-        for name in sorted(_sequentially_constant(ts, states)):
-            state = states[name]
-            assert state.init is not None
+        # One cached abstract-reachability analysis per design backs every
+        # semantic rule below; BMC folding and PDR seeding reuse it too.
+        try:
+            analysis: "Analysis | None" = analyze(ts)
+        except AbsintError:
+            analysis = None  # non-convergence backstop: fall back below
+
+        if analysis is not None:
+            seq_const = dict(analysis.seq_const)
+        else:
+            seq_const = {
+                name: states[name].init.const_value()
+                for name in _sequentially_constant(ts, states)
+            }
+        for name in sorted(seq_const):
             report.add(
                 "model.seq-const-latch",
                 SEV_WARNING,
                 f"state {name}",
                 f"latch is stuck at its initial value "
-                f"{state.init.const_value():#x} in every reachable state",
+                f"{seq_const[name]:#x} in every reachable state",
                 "replace it with a constant, or fix the update condition",
             )
+
+        if analysis is not None:
+            for state in ts.states:
+                value = analysis.latches[state.name]
+                if value.is_bottom or value.is_const or value.known == 0:
+                    continue
+                stuck = value.width - value.unknown_count
+                pattern = "".join(
+                    str((value.bits >> i) & 1) if (value.known >> i) & 1 else "x"
+                    for i in reversed(range(value.width))
+                )
+                report.add(
+                    "model.bit-stuck-latch",
+                    SEV_INFO,
+                    f"state {state.name}",
+                    f"{stuck} of {value.width} bits are stuck in every "
+                    f"reachable state (msb-first pattern {pattern})",
+                    "shrink the latch, or fix the update logic if the "
+                    "stuck bits were meant to move",
+                )
+
+            for prop_name, prop in ts.properties.items():
+                abstract = analysis.properties.get(prop_name)
+                if (
+                    abstract is not None
+                    and abstract.is_const
+                    and abstract.const_value() == 1
+                    and not prop.is_const
+                ):
+                    report.add(
+                        "model.unreachable-property-violation",
+                        SEV_INFO,
+                        f"property {prop_name}",
+                        "abstract reachability proves no reachable state "
+                        "violates this property",
+                        "",
+                    )
+
+            for where, summary in _nonwrapping_arith(ts, analysis):
+                report.add(
+                    "model.interval-overflow-impossible",
+                    SEV_INFO,
+                    where,
+                    "arithmetic provably never wraps at its width "
+                    f"({summary})",
+                    "",
+                )
 
     return report
 
@@ -285,6 +363,81 @@ def _cycles(graph: dict[str, set[str]]) -> list[tuple[str, ...]]:
                     stack.append((succ, path + [succ]))
         visited.add(start)
     return cycles
+
+
+_ARITH_OPS = {T.OP_ADD: "add", T.OP_SUB: "sub", T.OP_MUL: "mul"}
+
+
+def _dag_nodes(term: BV, seen: set):
+    """Every distinct node of ``term``'s DAG (any order)."""
+    if term.tid in seen:
+        return
+    seen.add(term.tid)
+    stack = [term]
+    while stack:
+        node = stack.pop()
+        yield node
+        for arg in node.args:
+            if arg.tid not in seen:
+                seen.add(arg.tid)
+                stack.append(arg)
+
+
+def _wraps(op, a: "D.AbstractValue", b: "D.AbstractValue") -> bool:
+    """Can this add/sub/mul wrap for operands inside the abstract boxes?"""
+    m = mask(a.width)
+    if op == T.OP_ADD:
+        return a.hi + b.hi > m
+    if op == T.OP_SUB:
+        return a.lo < b.hi
+    return a.hi * b.hi > m  # OP_MUL
+
+
+def _nonwrapping_arith(
+    ts: TransitionSystem, analysis: "Analysis"
+) -> list[tuple[str, str]]:
+    """Locations whose add/sub/mul nodes provably cannot wrap.
+
+    Only non-trivial facts are reported: the no-wrap condition must fail
+    for unconstrained (top) operands, so every finding reflects knowledge
+    the fixpoint actually derived rather than a width truism (a 1-bit
+    multiply, say, can never overflow).  Nodes shared between locations
+    are attributed to the first location that walks them.
+    """
+    env = analysis.env()
+    cache: dict[int, D.AbstractValue] = {}
+    roots: list[tuple[str, BV]] = []
+    for state in ts.states:
+        if state.next is not None:
+            roots.append((f"state {state.name} (next)", state.next))
+    for prop_name, prop in ts.properties.items():
+        roots.append((f"property {prop_name}", prop))
+
+    locations: list[tuple[str, str]] = []
+    walked: set[int] = set()
+    for where, term in roots:
+        try:
+            abstract_eval(term, env, cache)
+        except AbsintError:
+            continue
+        counts: dict[str, int] = {}
+        for node in _dag_nodes(term, walked):
+            opname = _ARITH_OPS.get(node.op)
+            if opname is None:
+                continue
+            a = cache.get(node.args[0].tid)
+            b = cache.get(node.args[1].tid)
+            if a is None or b is None or a.is_bottom or b.is_bottom:
+                continue
+            trivial = not _wraps(node.op, D.top(a.width), D.top(b.width))
+            if not trivial and not _wraps(node.op, a, b):
+                counts[opname] = counts.get(opname, 0) + 1
+        if counts:
+            summary = ", ".join(
+                f"{count} {op}" for op, count in sorted(counts.items())
+            )
+            locations.append((where, summary))
+    return locations
 
 
 def _sequentially_constant(

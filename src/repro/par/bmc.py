@@ -36,6 +36,7 @@ from repro.bmc.engine import (
     BmcStats,
     build_trace,
     load_frame_constraints,
+    prepare_absint_fold,
     prepare_property_system,
 )
 from repro.bmc.kinduction import KInductionEngine, KInductionResult
@@ -143,6 +144,9 @@ def _check_frame_shard(
     frames = sorted(frames)
     pipeline = pipeline if pipeline is not None else PipelineConfig.resolve(None)
     reduced_ts, reduction = prepare_property_system(ts, property_name, pipeline)
+    fold = prepare_absint_fold(reduced_ts, pipeline)
+    if fold is not None:
+        reduced_ts = fold.ts
     unroller = Unroller(reduced_ts)
     context = SolverContext(backend=backend, opt_level=pipeline)
     loaded = 0
@@ -178,7 +182,13 @@ def _check_frame_shard(
         if result.satisfiable:
             violated = frame
             trace = build_trace(
-                ts, unroller, property_name, result.model, frame, reduction=reduction
+                ts,
+                unroller,
+                property_name,
+                result.model,
+                frame,
+                reduction=reduction,
+                fold=fold,
             )
             with best_violation.get_lock():
                 if frame < best_violation.value:

@@ -41,7 +41,12 @@ the deep full-model QED properties:
   assumed frame and never pushed again;
 * **clause subsumption** — a newly learned cube retires every stored cube
   it subsumes, keeping the frame stores (and the propagation passes over
-  them) small.
+  them) small;
+* **seeded lemmas** — candidate cubes supplied by the caller (by default
+  the per-latch facts of the :mod:`repro.absint` fixpoint) are admitted
+  into ``F_inf`` before the main loop, but only after an Init-disjointness
+  check and a joint consecution fixpoint over the candidate set, so an
+  unsound seed can never influence a verdict.
 """
 
 from __future__ import annotations
@@ -50,7 +55,7 @@ import heapq
 import os
 import time
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Iterable, Optional
 
 from repro.bmc.engine import prepare_property_system
 from repro.errors import PdrError
@@ -79,7 +84,7 @@ _MAX_CTGS = 3
 
 def default_ctg_depth() -> int:
     """The process default CTG depth: ``$REPRO_PDR_CTG`` when set, else 1."""
-    raw = os.environ.get(ENV_PDR_CTG)
+    raw = os.environ.get(ENV_PDR_CTG)  # selflint: allow-env
     if raw is None or raw.strip() == "":
         return DEFAULT_CTG_DEPTH
     try:
@@ -140,6 +145,12 @@ class PdrStats:
     #: Clauses promoted to the infinite frame (inductive without any
     #: frame's help — they hold at every depth and are never re-pushed).
     clauses_pushed_inf: int = 0
+    #: Seeded candidate lemmas that survived the Init-disjointness and
+    #: joint-consecution filter and entered ``F_inf`` before the main loop.
+    seed_lemmas_admitted: int = 0
+    #: Seeded candidates dropped by the filter (or malformed for this
+    #: system, e.g. naming a state outside the property's cone).
+    seed_lemmas_rejected: int = 0
     solver_stats: SolverStats = field(default_factory=SolverStats)
 
     @property
@@ -248,6 +259,16 @@ class PdrEngine:
     individual queries are all cheap but whose obligation count is not (the
     QED processor models produce exactly that shape).  Exhausting either
     budget aborts the run with ``proven=None``.
+
+    ``seed_lemmas`` supplies candidate cubes whose negated clauses are
+    *offered* to the infinite frame before the main loop.  ``None`` (the
+    default) derives them from the :mod:`repro.absint` fixpoint when the
+    pipeline's ``absint`` knob is on; pass an empty iterable to disable
+    seeding outright.  Candidates are only *candidates*: each one must be
+    disjoint from ``Init`` and the set must pass a joint consecution
+    fixpoint (see ``_PdrRun._admit_seed_lemmas``) before admission, so a
+    wrong seed costs a few queries but can never unsoundly strengthen the
+    proof.
     """
 
     def __init__(
@@ -258,6 +279,7 @@ class PdrEngine:
         max_frames: int = 100,
         generalize: bool = True,
         ctg_depth: Optional[int] = None,
+        seed_lemmas: Optional[Iterable[Cube]] = None,
     ):
         ts.validate()
         if max_frames < 1:
@@ -268,6 +290,7 @@ class PdrEngine:
         self.max_frames = max_frames
         self.generalize = generalize
         self.ctg_depth = resolve_ctg_depth(ctg_depth)
+        self.seed_lemmas = None if seed_lemmas is None else list(seed_lemmas)
 
     def prove(
         self,
@@ -293,6 +316,7 @@ class PdrEngine:
             ctg_depth=self.ctg_depth,
             conflict_budget=conflict_budget,
             total_conflict_budget=total_conflict_budget,
+            seed_lemmas=self.seed_lemmas,
         )
         return run.prove()
 
@@ -311,6 +335,7 @@ class _PdrRun:
         conflict_budget: Optional[int],
         total_conflict_budget: Optional[int] = None,
         ctg_depth: int = DEFAULT_CTG_DEPTH,
+        seed_lemmas: Optional[Iterable[Cube]] = None,
     ):
         self.property_name = property_name
         self.max_frames = max_frames
@@ -327,6 +352,17 @@ class _PdrRun:
         reduced, _reduction = prepare_property_system(ts, property_name, pipeline)
         self.ts = reduced
         prop = reduced.properties[property_name]
+
+        # Candidate F_inf lemmas: explicit, or the abstract-interpretation
+        # fixpoint's per-latch facts (computed on the reduced system, whose
+        # states are exactly the ones the run can talk about).
+        if seed_lemmas is None and pipeline.use_absint:
+            from repro.absint import analyze, pdr_seed_cubes
+
+            seed_lemmas = pdr_seed_cubes(reduced, analyze(reduced))
+        self._seed_lemmas: list[Cube] = (
+            [] if seed_lemmas is None else [tuple(cube) for cube in seed_lemmas]
+        )
 
         # One shared set of "current state" / input variables for all three
         # contexts: terms are hash-consed globally, so each context blasts
@@ -722,6 +758,77 @@ class _PdrRun:
         self._bad.add(clause)
         self.stats.clauses_pushed_inf += 1
 
+    def _admit_seed_lemmas(self) -> None:
+        """Filter the seeded candidate cubes and promote survivors to F_inf.
+
+        Admission requires exactly what soundness of ``F_inf`` requires:
+
+        * *initiation* — no constraint-satisfying initial state matches the
+          cube (checked per cube on the initiation context);
+        * *consecution* — ``Seeds ∧ F_inf ∧ T ∧ cube'`` is UNSAT, where
+          ``Seeds`` is the conjunction of the surviving candidates' clauses.
+
+        Consecution is checked as a greatest fixpoint: every round asserts
+        the current candidates under a fresh activation variable, queries
+        each one, and drops the failures; dropping a cube weakens ``Seeds``,
+        so the remaining cubes are re-checked until a round drops nothing.
+        Whatever survives is jointly inductive and Init-disjoint — i.e. an
+        over-approximation of the reachable states — so promotion to the
+        permanently assumed infinite frame cannot change any verdict, only
+        prune unreachable states from every later query.
+
+        Malformed candidates (empty cube, unknown state name — e.g. a latch
+        outside this property's cone — or an out-of-range bit index) are
+        rejected up front rather than raised: seeds are advisory by design.
+        """
+        candidates: list[Cube] = []
+        seen: set[Cube] = set()
+        for raw in self._seed_lemmas:
+            cube = tuple(sorted(set(raw)))
+            if cube in seen:
+                continue
+            seen.add(cube)
+            well_formed = bool(cube) and all(
+                isinstance(value, bool)
+                and name in self._state_widths
+                and 0 <= bit < self._state_widths[name]
+                for name, bit, value in cube
+            )
+            if not well_formed or self._intersects_init(cube):
+                self.stats.seed_lemmas_rejected += 1
+                continue
+            candidates.append(cube)
+        while candidates:
+            act = T.fresh_var(f"pdr_actseed_{self.property_name}", 1)
+            guard = T.bv_not(act)
+            for cube in candidates:
+                self._cons.add(T.bv_or(guard, self._clause_curr(cube)))
+            survivors: list[Cube] = []
+            dropped = 0
+            for cube in candidates:
+                self.stats.consecution_queries += 1
+                result = self._check(
+                    self._cons,
+                    [self._act_inf, act, *(self._lit_next(lit) for lit in cube)],
+                    need_model=False,
+                )
+                if result.satisfiable is False:
+                    survivors.append(cube)
+                else:
+                    dropped += 1
+            if dropped == 0:
+                for cube in survivors:
+                    self._add_inf(cube)
+                    # Seeded, not pushed: keep clauses_pushed_inf meaning
+                    # "promoted by propagation/blocking".
+                    self.stats.clauses_pushed_inf -= 1
+                    self.stats.seed_lemmas_admitted += 1
+                return
+            self.stats.seed_lemmas_rejected += dropped
+            # The failed round's guarded clauses stay asserted but inert:
+            # their activation variable is never assumed again.
+            candidates = survivors
+
     def _is_blocked(self, cube: Cube, frame: int) -> bool:
         """Syntactic subsumption: a stored cube at ``>= frame`` covers this one."""
         lits = set(cube)
@@ -964,6 +1071,9 @@ class _PdrRun:
                 return self._result(
                     start, proven=False, frames_explored=0, cex_chain=[state]
                 )
+
+            if self._seed_lemmas:
+                self._admit_seed_lemmas()
 
             frontier = 1
             self._ensure_frame(1)

@@ -18,6 +18,12 @@ an ``opt_level`` that resolves to a :class:`PipelineConfig`:
 The process-wide default comes from the ``REPRO_OPT_LEVEL`` environment
 variable, so a whole test run or benchmark sweep can be pinned to the naive
 path without touching call sites.
+
+Orthogonally, ``absint`` (default on, ``REPRO_ABSINT=0`` to disable)
+enables the abstract-interpretation layer from :mod:`repro.absint`:
+pre-encoding constant-latch/bit folding in BMC, k-induction step
+strengthening and PDR frame-∞ lemma seeding.  It only takes effect at
+``opt_level >= 1`` — level 0 stays the untouched reference encoder.
 """
 
 from __future__ import annotations
@@ -31,6 +37,7 @@ from repro.errors import SolveError
 ENV_OPT_LEVEL = "REPRO_OPT_LEVEL"
 DEFAULT_OPT_LEVEL = 2
 MAX_OPT_LEVEL = 2
+ENV_ABSINT = "REPRO_ABSINT"
 
 
 def default_opt_level() -> int:
@@ -51,17 +58,30 @@ def default_opt_level() -> int:
     return level
 
 
+def default_absint() -> bool:
+    """The process default: ``$REPRO_ABSINT`` when set, else on."""
+    raw = os.environ.get(ENV_ABSINT)
+    if raw is None or raw == "":
+        return True
+    if raw in ("0", "1"):
+        return raw == "1"
+    raise SolveError(f"{ENV_ABSINT} must be 0 or 1, got {raw!r}")
+
+
 @dataclass(frozen=True)
 class PipelineConfig:
     """Which stages of the compilation pipeline are enabled."""
 
     opt_level: int = DEFAULT_OPT_LEVEL
+    absint: bool = dataclasses.field(default_factory=default_absint)
 
     def __post_init__(self) -> None:
         if not 0 <= self.opt_level <= MAX_OPT_LEVEL:
             raise SolveError(
                 f"opt_level must be in 0..{MAX_OPT_LEVEL}, got {self.opt_level}"
             )
+        if not isinstance(self.absint, bool):
+            raise SolveError(f"absint must be a bool, got {self.absint!r}")
 
     @property
     def use_aig(self) -> bool:
@@ -77,6 +97,15 @@ class PipelineConfig:
     def preprocess(self) -> bool:
         """Run CNF preprocessing before the SAT backend sees clauses."""
         return self.opt_level >= 2
+
+    @property
+    def use_absint(self) -> bool:
+        """Apply abstract-interpretation facts (fold/strengthen/seed).
+
+        Off at ``opt_level=0`` regardless of the knob: level 0 is the
+        untouched reference encoder the differential legs pin against.
+        """
+        return self.absint and self.opt_level >= 1
 
     @staticmethod
     def resolve(value: "PipelineConfig | int | None") -> "PipelineConfig":
@@ -121,6 +150,8 @@ class EncodingStats:
     coi_states_kept: int = 0
     coi_states_dropped: int = 0
     coi_state_bits_dropped: int = 0
+    absint_states_folded: int = 0
+    absint_bits_folded: int = 0
     blast_seconds: float = 0.0
     preprocess_seconds: float = 0.0
 

@@ -28,6 +28,7 @@ inputs reading as 0 (they are unconstrained, so any value is consistent).
 
 from __future__ import annotations
 
+import weakref
 from dataclasses import dataclass, field
 from typing import Mapping, Optional
 
@@ -85,6 +86,43 @@ class CoiReduction:
         for var in free_variables(term):
             assignment.setdefault(var.name or "", 0)
         return evaluate(term, assignment)
+
+
+# One cone per (system, property), shared by the lint rules, the BMC
+# session and the analysis layers so repeated runs over the same design
+# (e.g. ``--design all --zoo-sample 20``) never re-derive identical cones.
+# Systems are mutable builders, so entries carry a term-id fingerprint and
+# are recomputed whenever the system's structure changes.
+_CONE_CACHE: "weakref.WeakKeyDictionary[TransitionSystem, dict[str, tuple[tuple, CoiReduction]]]"
+_CONE_CACHE = weakref.WeakKeyDictionary()
+
+
+def _cone_fingerprint(ts: TransitionSystem) -> tuple:
+    states = tuple(
+        (
+            s.name,
+            s.width,
+            s.init.tid if s.init is not None else -1,
+            s.next.tid if s.next is not None else -1,
+        )
+        for s in ts.states
+    )
+    inputs = tuple((i.name, i.width) for i in ts.inputs)
+    props = tuple((name, term.tid) for name, term in ts.properties.items())
+    constraints = tuple(c.tid for c in ts.constraints)
+    return (states, inputs, props, constraints)
+
+
+def cached_property_cone(ts: TransitionSystem, property_name: str) -> CoiReduction:
+    """Memoised :func:`reduce_to_property_cone` for unchanged systems."""
+    fingerprint = _cone_fingerprint(ts)
+    per_prop = _CONE_CACHE.setdefault(ts, {})
+    cached = per_prop.get(property_name)
+    if cached is not None and cached[0] == fingerprint:
+        return cached[1]
+    reduction = reduce_to_property_cone(ts, property_name)
+    per_prop[property_name] = (fingerprint, reduction)
+    return reduction
 
 
 def reduce_to_property_cone(

@@ -223,7 +223,11 @@ class TestShippedArtifactsLintClean:
             D.pipelined_accumulators,
         ):
             report = lint_transition_system(builder("d", buggy=buggy))
-            assert not report.findings, f"{builder.__name__}: {report.render()}"
+            # The absint-backed rules may surface genuine info-severity
+            # facts (e.g. the saturating counter's stuck msb); shipped
+            # designs must stay free of errors and warnings.
+            noisy = [f for f in report.findings if f.severity != "info"]
+            assert not noisy, f"{builder.__name__}: {report.render()}"
 
     def test_sqed_flow_model_has_no_errors(self, tiny_processor_config):
         from repro.core.flow import SqedFlow
@@ -549,3 +553,44 @@ class TestSelfLint:
 
     def test_missing_path_is_usage_error(self):
         assert self._run("definitely/missing/dir").returncode == 2
+
+    def test_src_tree_is_clean(self):
+        result = self._run("src")
+        assert result.returncode == 0, result.stdout + result.stderr
+
+    def test_env_read_is_flagged(self, tmp_path):
+        bad = tmp_path / "module.py"
+        bad.write_text("import os\nvalue = os.environ.get('REPRO_X')\n")
+        result = self._run(str(bad))
+        assert result.returncode == 1
+        assert "module.py:2" in result.stdout
+        assert "environment read" in result.stdout
+
+    def test_os_getenv_is_flagged(self, tmp_path):
+        bad = tmp_path / "module.py"
+        bad.write_text("import os\nvalue = os.getenv('REPRO_X')\n")
+        assert self._run(str(bad)).returncode == 1
+
+    def test_env_allow_comment_suppresses(self, tmp_path):
+        ok = tmp_path / "module.py"
+        ok.write_text(
+            "import os\n"
+            "value = os.environ.get('REPRO_X')  # selflint: allow-env\n"
+        )
+        assert self._run(str(ok)).returncode == 0
+
+    def test_env_config_module_is_exempt(self, tmp_path):
+        config = tmp_path / "solve" / "pipeline.py"
+        config.parent.mkdir()
+        config.write_text("import os\nvalue = os.environ.get('REPRO_X')\n")
+        assert self._run(str(config)).returncode == 0
+
+    def test_wallclock_rule_skipped_under_src(self, tmp_path):
+        # Reporting-only timing comparisons are fine in src/ code; the
+        # env rule still applies there.
+        src = tmp_path / "src" / "report.py"
+        src.parent.mkdir()
+        src.write_text(
+            "a_seconds, b_seconds = 1.0, 2.0\nfaster = a_seconds < b_seconds\n"
+        )
+        assert self._run(str(src)).returncode == 0

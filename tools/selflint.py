@@ -1,17 +1,20 @@
 #!/usr/bin/env python
-"""Repo self-lint: benchmarks must never gate on wall-clock.
+"""Repo self-lint: mechanical rules the test suite cannot express.
 
-The dev and CI containers frequently run on a single, heavily shared CPU,
-so any benchmark that passes or fails based on elapsed time is flaky by
-construction.  The repo rule is: benchmarks gate on *verdict equality*
-(and solver-internal counters such as conflicts); wall-clock numbers are
-reported for information only.
+Two rules, each walking the AST of every ``.py`` file under the given
+directories (default: ``benchmarks/`` and ``src/``):
 
-This script enforces the rule mechanically.  It walks the AST of every
-``.py`` file under the given directories (default: ``benchmarks/``) and
-flags each comparison whose operands mention a timing quantity — an
-identifier, attribute, or string key matching ``seconds``, ``elapsed``,
-``wall``, ``runtime``, ``duration``, ``speedup`` or ``perf_counter``.
+**Wall-clock gating** (``benchmarks/`` only).  The dev and CI containers
+frequently run on a single, heavily shared CPU, so any benchmark that
+passes or fails based on elapsed time is flaky by construction.  The repo
+rule is: benchmarks gate on *verdict equality* (and solver-internal
+counters such as conflicts); wall-clock numbers are reported for
+information only.  Flagged: each comparison whose operands mention a
+timing quantity — an identifier, attribute, or string key matching
+``seconds``, ``elapsed``, ``wall``, ``runtime``, ``duration``,
+``speedup`` or ``perf_counter``.  The rule is scoped to benchmark roots:
+``src/`` code may legitimately compare runtimes for *reporting* (e.g. the
+figure harnesses' rendered tables).
 
 Exemptions:
 
@@ -21,12 +24,21 @@ Exemptions:
   that already guard themselves (e.g. the parallel speedup gate, which is
   skipped on single-CPU machines and in smoke mode).
 
+**Environment reads** (everywhere).  Process-default knobs must resolve in
+one designated config module per subsystem, so a knob's precedence
+(explicit argument > environment > default) is auditable in one place and
+workers inherit configuration through pickled config objects rather than
+ambient environment state.  Flagged: any ``os.environ`` / ``os.getenv``
+use outside the allowlisted config modules.  Lines carrying a
+``# selflint: allow-env`` comment are exempt — for reads that genuinely
+belong where they are (document why at the site).
+
 Exit status: 0 when clean, 1 with a ``file:line`` listing otherwise.
 
 Usage::
 
-    python tools/selflint.py            # lints benchmarks/
-    python tools/selflint.py benchmarks tests
+    python tools/selflint.py            # lints benchmarks/ and src/
+    python tools/selflint.py benchmarks src tools
 """
 
 from __future__ import annotations
@@ -44,6 +56,17 @@ TIMING = re.compile(
 )
 
 ALLOW_COMMENT = "selflint: allow-wallclock"
+ALLOW_ENV_COMMENT = "selflint: allow-env"
+
+#: Modules allowed to read the environment: one config resolver per
+#: subsystem (compilation pipeline + absint, SAT backend, lint gate,
+#: kernel sanitizer).  Matched as path suffixes.
+ENV_ALLOWED_SUFFIXES = (
+    "solve/pipeline.py",
+    "solve/backend.py",
+    "lint/gate.py",
+    "sat/sanitize.py",
+)
 
 
 def _timing_words(node: ast.AST) -> list[str]:
@@ -72,14 +95,9 @@ def _is_zero_literal(node: ast.AST) -> bool:
     )
 
 
-def _check_file(path: Path) -> list[tuple[int, str]]:
-    source = path.read_text(encoding="utf-8")
-    try:
-        tree = ast.parse(source, filename=str(path))
-    except SyntaxError as exc:
-        return [(exc.lineno or 0, f"syntax error: {exc.msg}")]
-    lines = source.splitlines()
-
+def _check_wallclock(
+    tree: ast.AST, lines: list[str]
+) -> list[tuple[int, str]]:
     violations: list[tuple[int, str]] = []
     for node in ast.walk(tree):
         if not isinstance(node, ast.Compare):
@@ -104,23 +122,76 @@ def _check_file(path: Path) -> list[tuple[int, str]]:
     return violations
 
 
+def _is_os_env_use(node: ast.AST) -> bool:
+    """``os.environ`` (any use: .get, subscript, ``in``) or ``os.getenv``."""
+    return (
+        isinstance(node, ast.Attribute)
+        and node.attr in ("environ", "getenv")
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "os"
+    )
+
+
+def _check_env_reads(
+    tree: ast.AST, lines: list[str], path: Path
+) -> list[tuple[int, str]]:
+    posix = path.as_posix()
+    if any(posix.endswith(suffix) for suffix in ENV_ALLOWED_SUFFIXES):
+        return []
+    violations: list[tuple[int, str]] = []
+    for node in ast.walk(tree):
+        if not _is_os_env_use(node):
+            continue
+        line_text = lines[node.lineno - 1] if node.lineno <= len(lines) else ""
+        if ALLOW_ENV_COMMENT in line_text:
+            continue
+        violations.append(
+            (
+                node.lineno,
+                "direct environment read outside a config module; resolve "
+                "the knob in its subsystem's config resolver "
+                f"({', '.join(ENV_ALLOWED_SUFFIXES)}) or suppress with "
+                f"'# {ALLOW_ENV_COMMENT}'",
+            )
+        )
+    return violations
+
+
+def _check_file(path: Path, wallclock: bool) -> list[tuple[int, str]]:
+    source = path.read_text(encoding="utf-8")
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as exc:
+        return [(exc.lineno or 0, f"syntax error: {exc.msg}")]
+    lines = source.splitlines()
+
+    violations: list[tuple[int, str]] = []
+    if wallclock:
+        violations.extend(_check_wallclock(tree, lines))
+    violations.extend(_check_env_reads(tree, lines, path))
+    return sorted(violations)
+
+
 def main(argv: list[str] | None = None) -> int:
     args = sys.argv[1:] if argv is None else argv
-    roots = [Path(a) for a in args] or [Path("benchmarks")]
+    roots = [Path(a) for a in args] or [Path("benchmarks"), Path("src")]
 
-    files: list[Path] = []
+    files: list[tuple[Path, bool]] = []
     for root in roots:
+        # The wall-clock rule only applies to benchmark code; everything
+        # else is still subject to the environment-read rule.
+        wallclock = "src" not in root.parts
         if root.is_file():
-            files.append(root)
+            files.append((root, wallclock))
         elif root.is_dir():
-            files.extend(sorted(root.rglob("*.py")))
+            files.extend((p, wallclock) for p in sorted(root.rglob("*.py")))
         else:
             print(f"selflint: no such path: {root}", file=sys.stderr)
             return 2
 
     total = 0
-    for path in files:
-        for lineno, message in _check_file(path):
+    for path, wallclock in files:
+        for lineno, message in _check_file(path, wallclock):
             print(f"{path}:{lineno}: {message}")
             total += 1
     if total:
